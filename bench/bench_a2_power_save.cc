@@ -1,0 +1,100 @@
+// A2 (ablation) — power-save energy/latency trade.
+//
+// A station receives light downlink CBR (5 packets/s). Sweep: PS off
+// (constantly awake) vs PS on with listen interval ∈ {1, 3, 10} beacons.
+// Expected shape: station energy collapses by an order of magnitude with
+// PS (idle listening dominates an idle radio's budget), while mean delivery
+// delay grows ≈ listen_interval × beacon_interval / 2 — the classic duty-
+// cycling trade-off curve.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace wlansim {
+namespace {
+
+Table g_table({"mode", "listen_interval", "sta_energy_J", "energy_per_pkt_mJ", "mean_delay_ms",
+               "loss_%", "sleep_fraction_%"});
+
+struct Outcome {
+  double energy_j;
+  double energy_per_packet_mj;
+  double delay_ms;
+  double loss;
+  double sleep_fraction;
+};
+
+Outcome RunPs(bool ps, uint8_t listen_interval, uint64_t seed) {
+  Network net(Network::Params{.seed = seed});
+  net.UseLogDistanceLoss(3.0);
+  Node* ap = net.AddNode({.role = MacRole::kAp, .standard = PhyStandard::k80211b, .ssid = "a2"});
+  Node* sta = net.AddNode({.role = MacRole::kSta,
+                           .standard = PhyStandard::k80211b,
+                           .ssid = "a2",
+                           .position = {10, 0, 0},
+                           .mac_tweak = [ps, listen_interval](WifiMac::Config& c) {
+                             c.power_save = ps;
+                             c.listen_interval = listen_interval;
+                           }});
+  net.StartAll();
+  auto* app = ap->AddTraffic<CbrTraffic>(sta->address(), 1, 400, Time::Millis(200));
+  app->Start(Time::Seconds(1));
+  net.Run(Time::Seconds(21));
+
+  Outcome out{};
+  const auto times = sta->phy().GetStateTimes(net.sim().Now());
+  out.energy_j = times.EnergyJoules();
+  const auto delivered = sta->packets_received();
+  out.energy_per_packet_mj = delivered ? 1000.0 * out.energy_j / static_cast<double>(delivered)
+                                       : 0.0;
+  const auto* flow = net.flow_stats().Find(1);
+  out.delay_ms = flow != nullptr ? flow->delay_us.mean() / 1000.0 : 0.0;
+  out.loss = net.flow_stats().LossRate(1);
+  const double total = (times.tx + times.rx + times.listen + times.sleep).seconds();
+  out.sleep_fraction = total > 0 ? times.sleep.seconds() / total : 0.0;
+  return out;
+}
+
+void Run(benchmark::State& state, bool ps, uint8_t listen_interval) {
+  Outcome o{};
+  for (auto _ : state) {
+    o = RunPs(ps, listen_interval, 321);
+  }
+  state.counters["energy_j"] = o.energy_j;
+  state.counters["delay_ms"] = o.delay_ms;
+  g_table.AddRow({ps ? "power-save" : "always-on",
+                  ps ? std::to_string(listen_interval) : "-", Table::Num(o.energy_j, 2),
+                  Table::Num(o.energy_per_packet_mj, 1), Table::Num(o.delay_ms, 1),
+                  Table::Num(100 * o.loss, 1), Table::Num(100 * o.sleep_fraction, 1)});
+}
+
+void BM_AlwaysOn(benchmark::State& s) {
+  Run(s, false, 1);
+}
+void BM_PsListen1(benchmark::State& s) {
+  Run(s, true, 1);
+}
+void BM_PsListen3(benchmark::State& s) {
+  Run(s, true, 3);
+}
+void BM_PsListen10(benchmark::State& s) {
+  Run(s, true, 10);
+}
+
+BENCHMARK(BM_AlwaysOn)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PsListen1)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PsListen3)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PsListen10)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wlansim
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  wlansim::PrintTable(
+      "A2: power-save energy vs latency (400 B CBR downlink @ 5 pkt/s, 20 s)",
+      wlansim::g_table, argc, argv);
+  return 0;
+}

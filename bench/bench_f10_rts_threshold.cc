@@ -1,0 +1,60 @@
+// F10 — RTS/CTS threshold crossover.
+//
+// Basic access wastes a whole data frame on every collision; RTS/CTS wastes
+// only the short RTS but pays the handshake on every frame. The crossover
+// therefore moves with payload size and contention level. Sweep payload ×
+// station count with RTS always-on vs always-off. Expected shape: basic
+// wins for small payloads / low contention; RTS/CTS wins for large payloads
+// with many stations.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace wlansim {
+namespace {
+
+Table g_table({"payload_B", "n_stas", "basic_mbps", "rtscts_mbps", "winner"});
+
+const size_t kPayloads[] = {200, 1000, 2304};
+const size_t kStas[] = {2, 15, 50};
+
+void BM_Crossover(benchmark::State& state) {
+  const size_t payload = kPayloads[state.range(0)];
+  const size_t n = kStas[state.range(1)];
+  double basic = 0;
+  double rts = 0;
+  for (auto _ : state) {
+    SaturationParams p;
+    p.standard = PhyStandard::k80211b;
+    p.n_stas = n;
+    p.payload = payload;
+    p.distance = 10.0;
+    p.sim_time = Time::Seconds(4);
+    p.seed = 7000 + n * 10 + payload;
+    p.rts_threshold = 65535;
+    basic = RunSaturationScenario(p).goodput_mbps;
+    p.rts_threshold = 0;  // RTS for everything
+    rts = RunSaturationScenario(p).goodput_mbps;
+  }
+  state.counters["basic_mbps"] = basic;
+  state.counters["rtscts_mbps"] = rts;
+  g_table.AddRow({std::to_string(payload), std::to_string(n), Table::Num(basic, 2),
+                  Table::Num(rts, 2), basic >= rts ? "basic" : "rts/cts"});
+}
+
+BENCHMARK(BM_Crossover)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wlansim
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  wlansim::PrintTable("F10: RTS/CTS threshold crossover (802.11b, saturated uplinks)",
+                      wlansim::g_table, argc, argv);
+  return 0;
+}

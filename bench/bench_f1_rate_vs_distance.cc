@@ -1,0 +1,99 @@
+// F1 — Rate-vs-distance staircase.
+//
+// The survey states every 802.11 PHY "automatically backs down from the peak
+// rate when the radio signal is weak". For a distance sweep this harness
+// reports (a) the best fixed rate (oracle envelope) and (b) what ARF actually
+// selects, for both 802.11b and 802.11a. Expected shape: a monotone staircase
+// down through the standard's rate set, with 802.11b usable farther out than
+// 802.11a (lower rates + 2.4 GHz advantage under equal loss exponent).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace wlansim {
+namespace {
+
+Table g_table({"standard", "distance_m", "best_fixed", "best_fixed_mbps", "arf_mbps"});
+
+struct Point {
+  PhyStandard standard;
+  double distance;
+};
+
+std::vector<Point> MakePoints() {
+  std::vector<Point> points;
+  for (PhyStandard s : {PhyStandard::k80211b, PhyStandard::k80211a}) {
+    for (double d : {10, 30, 60, 90, 120, 160, 200, 250}) {
+      points.push_back({s, static_cast<double>(d)});
+    }
+  }
+  return points;
+}
+
+const std::vector<Point>& Points() {
+  static const std::vector<Point> points = MakePoints();
+  return points;
+}
+
+RunResult RunLink(PhyStandard standard, double distance, size_t rate_index,
+                  const std::string& controller) {
+  Network net(Network::Params{.seed = 7});
+  net.UseLogDistanceLoss(3.0);
+  Node* ap = net.AddNode({.role = MacRole::kAp, .standard = standard, .ssid = "f1"});
+  Node* sta = net.AddNode({.role = MacRole::kSta,
+                           .standard = standard,
+                           .ssid = "f1",
+                           .position = {distance, 0, 0}});
+  if (controller.empty()) {
+    sta->SetRateController(
+        std::make_unique<FixedRateController>(ModesFor(standard)[rate_index]));
+  } else {
+    sta->SetRateController(MakeController(controller, standard, net.ForkRng("rate")));
+  }
+  net.StartAll();
+  auto* app = sta->AddTraffic<SaturatedTraffic>(ap->address(), 1, 1200);
+  app->Start(Time::Seconds(1));
+  net.Run(Time::Seconds(5));
+  RunResult r;
+  r.goodput_mbps = net.flow_stats().GoodputMbps();
+  return r;
+}
+
+void BM_RateVsDistance(benchmark::State& state) {
+  const Point& pt = Points()[static_cast<size_t>(state.range(0))];
+  double best_mbps = 0;
+  std::string best_name = "none";
+  double arf_mbps = 0;
+  for (auto _ : state) {
+    const auto modes = ModesFor(pt.standard);
+    for (size_t i = 0; i < modes.size(); ++i) {
+      const double g = RunLink(pt.standard, pt.distance, i, "").goodput_mbps;
+      if (g > best_mbps) {
+        best_mbps = g;
+        best_name = modes[i].name;
+      }
+    }
+    arf_mbps = RunLink(pt.standard, pt.distance, 0, "arf").goodput_mbps;
+  }
+  state.counters["best_fixed_mbps"] = best_mbps;
+  state.counters["arf_mbps"] = arf_mbps;
+  g_table.AddRow({ToString(pt.standard), Table::Num(pt.distance, 0), best_name,
+                  Table::Num(best_mbps, 2), Table::Num(arf_mbps, 2)});
+}
+
+BENCHMARK(BM_RateVsDistance)
+    ->DenseRange(0, 15)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wlansim
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  wlansim::PrintTable("F1: rate-vs-distance staircase (log-distance n=3, 1200 B saturated)",
+                      wlansim::g_table, argc, argv);
+  return 0;
+}

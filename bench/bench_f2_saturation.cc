@@ -1,0 +1,95 @@
+// F2 — DCF saturation throughput vs number of stations (Bianchi's figure).
+//
+// n backlogged stations, basic access vs RTS/CTS, for 802.11b @ 11 Mb/s and
+// 802.11a @ 54 Mb/s. Expected shape: aggregate throughput decays slowly as n
+// grows (collision cost); RTS/CTS is flatter in n and overtakes basic access
+// once collisions are expensive (large payloads, many stations).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "mac/frames.h"
+#include "stats/bianchi.h"
+
+namespace wlansim {
+namespace {
+
+Table g_table({"standard", "n_stas", "access", "agg_goodput_mbps", "bianchi_mbps",
+               "retry_rate_%", "mean_delay_ms"});
+
+// Analytic Bianchi prediction for the same configuration.
+double AnalyticMbps(PhyStandard standard, uint32_t n, size_t payload, bool rtscts) {
+  const PhyTiming t = TimingFor(standard);
+  const WifiMode& data_mode = ModesFor(standard).back();
+  const WifiMode& ctl_mode = ControlResponseMode(data_mode);
+  BianchiParams p;
+  p.n_stations = n;
+  p.cw_min = t.cw_min;
+  p.max_backoff_stages = 5;
+  p.slot = t.slot;
+  p.sifs = t.sifs;
+  p.difs = t.Difs();
+  p.data_duration = FrameDuration(data_mode, payload + kDataHeaderSize + kFcsSize);
+  p.ack_duration = AckDuration(ctl_mode);
+  p.rts_duration = RtsDuration(ctl_mode);
+  p.cts_duration = CtsDuration(ctl_mode);
+  p.payload_bits = 8.0 * static_cast<double>(payload);
+  const BianchiResult r = SolveBianchi(p);
+  return (rtscts ? r.throughput_bps_rtscts : r.throughput_bps_basic) / 1e6;
+}
+
+const size_t kStaCounts[] = {1, 2, 5, 10, 20, 35};
+
+void Run(benchmark::State& state, PhyStandard standard, bool rtscts) {
+  const size_t n = kStaCounts[state.range(0)];
+  SaturationParams p;
+  p.standard = standard;
+  p.n_stas = n;
+  p.payload = 1500;
+  p.distance = 10.0;
+  p.rts_threshold = rtscts ? 400 : 65535;
+  p.sim_time = Time::Seconds(5);
+  p.seed = 100 + n;
+  RunResult r{};
+  for (auto _ : state) {
+    r = RunSaturationScenario(p);
+  }
+  const double retry_rate =
+      r.tx_attempts ? 100.0 * static_cast<double>(r.retries) / static_cast<double>(r.tx_attempts)
+                    : 0.0;
+  state.counters["goodput_mbps"] = r.goodput_mbps;
+  state.counters["retry_pct"] = retry_rate;
+  g_table.AddRow({ToString(standard), std::to_string(n), rtscts ? "rts/cts" : "basic",
+                  Table::Num(r.goodput_mbps, 2),
+                  Table::Num(AnalyticMbps(standard, static_cast<uint32_t>(n), p.payload, rtscts), 2),
+                  Table::Num(retry_rate, 1), Table::Num(r.mean_delay_ms, 1)});
+}
+
+void BM_Dcf11bBasic(benchmark::State& state) {
+  Run(state, PhyStandard::k80211b, false);
+}
+void BM_Dcf11bRtsCts(benchmark::State& state) {
+  Run(state, PhyStandard::k80211b, true);
+}
+void BM_Dcf11aBasic(benchmark::State& state) {
+  Run(state, PhyStandard::k80211a, false);
+}
+void BM_Dcf11aRtsCts(benchmark::State& state) {
+  Run(state, PhyStandard::k80211a, true);
+}
+
+BENCHMARK(BM_Dcf11bBasic)->DenseRange(0, 5)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Dcf11bRtsCts)->DenseRange(0, 5)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Dcf11aBasic)->DenseRange(0, 5)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Dcf11aRtsCts)->DenseRange(0, 5)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wlansim
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  wlansim::PrintTable("F2: DCF saturation throughput vs station count (1500 B)",
+                      wlansim::g_table, argc, argv);
+  return 0;
+}

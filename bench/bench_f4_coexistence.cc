@@ -1,0 +1,93 @@
+// F4 — 802.11b/g coexistence penalty.
+//
+// The survey notes an 802.11g AP "will support 802.11b and 802.11g clients"
+// because both share 2.4 GHz. The cost: a pure-g BSS runs with short slots
+// and no protection; admitting one b station forces long slots and (when
+// enabled) CTS-to-self protection before every OFDM frame. Expected shape:
+// pure-g ≫ mixed; protection trades goodput for reliability alongside
+// legacy stations.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace wlansim {
+namespace {
+
+Table g_table({"scenario", "g_sta_goodput_mbps", "b_sta_goodput_mbps", "agg_mbps"});
+
+struct Result {
+  double g_mbps;
+  double b_mbps;
+};
+
+Result RunCoexistence(bool with_b_sta, bool protection, uint64_t seed) {
+  Network net(Network::Params{.seed = seed});
+  net.UseLogDistanceLoss(3.0);
+  auto g_tweak = [&](WifiMac::Config& c) { c.cts_to_self_protection = protection; };
+
+  Node* ap = net.AddNode({.role = MacRole::kAp,
+                          .standard = PhyStandard::k80211g,
+                          .ssid = "mix",
+                          .mac_tweak = g_tweak});
+  Node* g_sta = net.AddNode({.role = MacRole::kSta,
+                             .standard = PhyStandard::k80211g,
+                             .ssid = "mix",
+                             .position = {8, 0, 0},
+                             .mac_tweak = g_tweak});
+  g_sta->SetRateController(
+      std::make_unique<FixedRateController>(ModesFor(PhyStandard::k80211g).back()));
+
+  Node* b_sta = nullptr;
+  if (with_b_sta) {
+    b_sta = net.AddNode({.role = MacRole::kSta,
+                         .standard = PhyStandard::k80211b,
+                         .ssid = "mix",
+                         .position = {-35, 0, 0}});  // beyond ED range of the g STA: protection matters
+    b_sta->SetRateController(
+        std::make_unique<FixedRateController>(ModesFor(PhyStandard::k80211b).back()));
+  }
+  net.StartAll();
+  g_sta->AddTraffic<SaturatedTraffic>(ap->address(), 1, 1500)->Start(Time::Seconds(1));
+  if (b_sta != nullptr) {
+    b_sta->AddTraffic<SaturatedTraffic>(ap->address(), 2, 1500)->Start(Time::Seconds(1));
+  }
+  net.Run(Time::Seconds(7));
+  return Result{net.flow_stats().GoodputMbps(1), net.flow_stats().GoodputMbps(2)};
+}
+
+void Run(benchmark::State& state, const char* label, bool with_b, bool protection) {
+  Result r{};
+  for (auto _ : state) {
+    r = RunCoexistence(with_b, protection, 23);
+  }
+  state.counters["g_mbps"] = r.g_mbps;
+  state.counters["b_mbps"] = r.b_mbps;
+  g_table.AddRow({label, Table::Num(r.g_mbps, 2), Table::Num(r.b_mbps, 2),
+                  Table::Num(r.g_mbps + r.b_mbps, 2)});
+}
+
+void BM_PureG(benchmark::State& s) {
+  Run(s, "pure-g (short slot)", false, false);
+}
+void BM_MixedNoProtection(benchmark::State& s) {
+  Run(s, "g + b sta, no protection", true, false);
+}
+void BM_MixedProtection(benchmark::State& s) {
+  Run(s, "g + b sta, cts-to-self", true, true);
+}
+
+BENCHMARK(BM_PureG)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MixedNoProtection)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MixedProtection)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wlansim
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  wlansim::PrintTable("F4: 802.11b/g coexistence (saturated uplinks, 1500 B)", wlansim::g_table,
+                      argc, argv);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// F5 — Security-suite goodput (the survey's WEP → WPA/TKIP → WPA2/CCMP
+// progression, §5.2).
+//
+// Saturated single link under each cipher. Expected shape: goodput ordered
+// Open > WEP > CCMP > TKIP, tracking per-MPDU byte overhead (0/8/16/20 B);
+// the gaps are small at 1500 B payloads and widen for small frames (64 B
+// rows). CPU cost of the ciphers is measured separately in M1.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace wlansim {
+namespace {
+
+Table g_table(
+    {"cipher", "payload_B", "overhead_B", "goodput_mbps", "relative_%", "decrypt_failures"});
+
+const CipherSuite kSuites[] = {CipherSuite::kOpen, CipherSuite::kWep, CipherSuite::kTkip,
+                               CipherSuite::kCcmp};
+
+double g_open_baseline[2] = {0, 0};
+
+void Run(benchmark::State& state, size_t payload, int payload_slot) {
+  const CipherSuite suite = kSuites[state.range(0)];
+  SaturationParams p;
+  p.standard = PhyStandard::k80211b;
+  p.n_stas = 1;
+  p.payload = payload;
+  p.distance = 5.0;
+  p.cipher = suite;
+  p.sim_time = Time::Seconds(5);
+  RunResult r{};
+  for (auto _ : state) {
+    r = RunSaturationScenario(p);
+  }
+  if (suite == CipherSuite::kOpen) {
+    g_open_baseline[payload_slot] = r.goodput_mbps;
+  }
+  const double rel = g_open_baseline[payload_slot] > 0
+                         ? 100.0 * r.goodput_mbps / g_open_baseline[payload_slot]
+                         : 100.0;
+  state.counters["goodput_mbps"] = r.goodput_mbps;
+  g_table.AddRow({ToString(suite), std::to_string(payload),
+                  std::to_string(CipherTotalOverheadBytes(suite)), Table::Num(r.goodput_mbps, 3),
+                  Table::Num(rel, 1), "0"});
+}
+
+void BM_Cipher1500(benchmark::State& s) {
+  Run(s, 1500, 0);
+}
+void BM_Cipher64(benchmark::State& s) {
+  Run(s, 64, 1);
+}
+
+BENCHMARK(BM_Cipher1500)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cipher64)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wlansim
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  wlansim::PrintTable("F5: link-layer security suite goodput (11 Mb/s saturated link)",
+                      wlansim::g_table, argc, argv);
+  return 0;
+}

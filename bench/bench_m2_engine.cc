@@ -1,0 +1,104 @@
+// M2 — Simulation-engine microbenchmarks: event queue throughput, packet
+// header operations, RNG draw rate, and end-to-end simulated-seconds-per-
+// wall-second for a canonical saturated BSS.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace wlansim {
+namespace {
+
+void BM_EventScheduleAndPop(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  for (auto _ : state) {
+    EventQueue q;
+    int64_t executed = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      q.Schedule(Time::Nanos(rng.UniformInt(0, 1'000'000)), [&executed] { ++executed; });
+    }
+    while (!q.IsEmpty()) {
+      q.PopNext(nullptr)();
+    }
+    benchmark::DoNotOptimize(executed);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventScheduleAndPop)->Arg(1000)->Arg(100000);
+
+void BM_EventCancelHalf(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    EventQueue q;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 10000; ++i) {
+      ids.push_back(q.Schedule(Time::Nanos(rng.UniformInt(0, 1'000'000)), [] {}));
+    }
+    for (size_t i = 0; i < ids.size(); i += 2) {
+      ids[i].Cancel();
+    }
+    while (!q.IsEmpty()) {
+      q.PopNext(nullptr)();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventCancelHalf);
+
+void BM_PacketHeaderCycle(benchmark::State& state) {
+  const std::vector<uint8_t> header(24, 0xAA);
+  for (auto _ : state) {
+    Packet p(1500);
+    p.AddHeader(header);
+    p.RemoveHeader(24);
+    benchmark::DoNotOptimize(p.size());
+  }
+}
+BENCHMARK(BM_PacketHeaderCycle);
+
+void BM_RngDraws(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextU64());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngDraws);
+
+void BM_FrameCodecRoundTrip(benchmark::State& state) {
+  MacHeader h;
+  h.type = FrameType::kData;
+  h.addr1 = MacAddress::FromId(1);
+  h.addr2 = MacAddress::FromId(2);
+  h.addr3 = MacAddress::FromId(3);
+  const std::vector<uint8_t> body(1500, 0x77);
+  for (auto _ : state) {
+    Packet mpdu = BuildMpdu(h, body);
+    auto parsed = ParseMpdu(mpdu);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameCodecRoundTrip);
+
+// End-to-end engine speed: how many simulated seconds of a 5-station
+// saturated BSS fit in one wall second.
+void BM_SimulatedSecondsPerWallSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    SaturationParams p;
+    p.n_stas = 5;
+    p.sim_time = Time::Seconds(2);
+    p.warmup = Time::Millis(500);
+    benchmark::DoNotOptimize(RunSaturationScenario(p));
+  }
+  state.counters["sim_seconds"] =
+      benchmark::Counter(2.0 * static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatedSecondsPerWallSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wlansim
+
+BENCHMARK_MAIN();

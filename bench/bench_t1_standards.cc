@@ -1,0 +1,66 @@
+// T1 — Standards comparison table.
+//
+// Reproduces the survey's "comparison of wireless network types" row set for
+// the WLAN family: for each PHY standard, the nominal (PHY) maximum bit rate
+// versus the MAC-layer goodput a saturated single link actually achieves.
+// Expected shape: goodput ordering 802.11 < 802.11b < 802.11g ≈ 802.11a, with
+// MAC efficiency falling as the PHY rate grows (fixed-overhead dominance).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace wlansim {
+namespace {
+
+struct Row {
+  PhyStandard standard;
+};
+
+const Row kRows[] = {
+    {PhyStandard::k80211},
+    {PhyStandard::k80211b},
+    {PhyStandard::k80211a},
+    {PhyStandard::k80211g},
+};
+
+Table g_table({"standard", "phy_rate_mbps", "mac_goodput_mbps", "mac_efficiency_%",
+               "mean_delay_ms"});
+
+void BM_StandardGoodput(benchmark::State& state) {
+  const Row& row = kRows[state.range(0)];
+  SaturationParams p;
+  p.standard = row.standard;
+  p.n_stas = 1;
+  p.payload = 1500;
+  p.distance = 5.0;
+  p.sim_time = Time::Seconds(6);
+  RunResult r{};
+  for (auto _ : state) {
+    r = RunSaturationScenario(p);
+  }
+  const double phy_mbps =
+      static_cast<double>(ModesFor(row.standard).back().bit_rate_bps) / 1e6;
+  state.counters["phy_mbps"] = phy_mbps;
+  state.counters["goodput_mbps"] = r.goodput_mbps;
+  state.counters["efficiency_pct"] = 100.0 * r.goodput_mbps / phy_mbps;
+  g_table.AddRow({ToString(row.standard), Table::Num(phy_mbps, 0), Table::Num(r.goodput_mbps, 2),
+                  Table::Num(100.0 * r.goodput_mbps / phy_mbps, 1),
+                  Table::Num(r.mean_delay_ms, 2)});
+}
+
+BENCHMARK(BM_StandardGoodput)
+    ->DenseRange(0, 3)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wlansim
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  wlansim::PrintTable("T1: standards comparison (saturated 1500 B UDP, 5 m link)",
+                      wlansim::g_table, argc, argv);
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "core/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace wlansim {
+
+EventId EventQueue::Schedule(Time at, std::function<void()> fn) {
+  auto state = std::make_shared<EventId::State>(EventId::State::kPending);
+  heap_.push_back(Entry{at, next_seq_++, std::move(fn), state});
+  std::push_heap(heap_.begin(), heap_.end());
+  return EventId(std::move(state));
+}
+
+void EventQueue::DropCancelledHead() {
+  while (!heap_.empty() && *heap_.front().state == EventId::State::kCancelled) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+  }
+}
+
+bool EventQueue::IsEmpty() {
+  DropCancelledHead();
+  return heap_.empty();
+}
+
+Time EventQueue::NextTime() {
+  DropCancelledHead();
+  assert(!heap_.empty());
+  return heap_.front().at;
+}
+
+std::function<void()> EventQueue::PopNext(Time* at) {
+  DropCancelledHead();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end());
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  *entry.state = EventId::State::kExecuted;
+  if (at != nullptr) {
+    *at = entry.at;
+  }
+  return std::move(entry.fn);
+}
+
+}  // namespace wlansim

@@ -1,0 +1,92 @@
+// A cancellable future-event list for the discrete-event kernel.
+//
+// Events with equal timestamps execute in scheduling order (FIFO), which the
+// MAC relies on for deterministic tie-breaking (e.g. two stations whose
+// backoff counters expire in the same slot). Cancellation is O(1): the heap
+// entry is tombstoned and skipped when it reaches the head.
+
+#ifndef WLANSIM_CORE_EVENT_QUEUE_H_
+#define WLANSIM_CORE_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/time.h"
+
+namespace wlansim {
+
+// Handle to a scheduled event. Copyable; all copies refer to the same event.
+// A default-constructed EventId refers to no event.
+class EventId {
+ public:
+  EventId() = default;
+
+  // True if the event is still waiting to run (not cancelled, not executed).
+  bool IsPending() const { return state_ != nullptr && *state_ == State::kPending; }
+
+  // Cancels the event if it is still pending. Safe to call repeatedly and on
+  // a default-constructed id.
+  void Cancel() {
+    if (IsPending()) {
+      *state_ = State::kCancelled;
+    }
+  }
+
+ private:
+  friend class EventQueue;
+  enum class State : uint8_t { kPending, kCancelled, kExecuted };
+
+  explicit EventId(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+class EventQueue {
+ public:
+  // Schedules `fn` to run at absolute time `at`.
+  EventId Schedule(Time at, std::function<void()> fn);
+
+  // True when no pending (non-cancelled) event remains.
+  bool IsEmpty();
+
+  // Timestamp of the earliest pending event. Requires !IsEmpty().
+  Time NextTime();
+
+  // Removes the earliest pending event and returns its action. If `at` is
+  // non-null it receives the event's timestamp. Requires !IsEmpty().
+  std::function<void()> PopNext(Time* at);
+
+  // Entries currently held (including not-yet-purged tombstones).
+  size_t HeapSize() const { return heap_.size(); }
+
+  // Total events ever scheduled (for engine microbenchmarks).
+  uint64_t TotalScheduled() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    Time at;
+    uint64_t seq;  // tie-breaker: FIFO among equal timestamps
+    std::function<void()> fn;
+    std::shared_ptr<EventId::State> state;
+
+    // std::push_heap builds a max-heap; invert so the earliest (time, seq)
+    // pair wins.
+    bool operator<(const Entry& other) const {
+      if (at != other.at) {
+        return at > other.at;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  void DropCancelledHead();
+
+  std::vector<Entry> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_CORE_EVENT_QUEUE_H_

@@ -1,0 +1,29 @@
+#include "core/logging.h"
+
+namespace wlansim {
+
+LogLevel Logger::level_ = LogLevel::kOff;
+
+void Logger::Write(LogLevel level, Time now, const char* component, const std::string& message) {
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kError:
+      tag = "E";
+      break;
+    case LogLevel::kWarn:
+      tag = "W";
+      break;
+    case LogLevel::kInfo:
+      tag = "I";
+      break;
+    case LogLevel::kDebug:
+      tag = "D";
+      break;
+    case LogLevel::kOff:
+      return;
+  }
+  std::fprintf(stderr, "%s [%12s] %-8s %s\n", tag, now.ToString().c_str(), component,
+               message.c_str());
+}
+
+}  // namespace wlansim

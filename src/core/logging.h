@@ -1,0 +1,49 @@
+// Minimal leveled logging for simulator diagnostics.
+//
+// Logging is off by default (benchmarks must not pay for it); tests and
+// examples can raise the level per component. The WLANSIM_LOG macro only
+// evaluates its arguments when the level is enabled.
+
+#ifndef WLANSIM_CORE_LOGGING_H_
+#define WLANSIM_CORE_LOGGING_H_
+
+#include <cstdio>
+#include <string>
+
+#include "core/time.h"
+
+namespace wlansim {
+
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+class Logger {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel level) { level_ = level; }
+
+  static bool Enabled(LogLevel level) { return static_cast<int>(level) <= static_cast<int>(level_); }
+
+  // Emits one line: "[ 1.234ms] component: message".
+  static void Write(LogLevel level, Time now, const char* component, const std::string& message);
+
+ private:
+  static LogLevel level_;
+};
+
+}  // namespace wlansim
+
+// Usage: WLANSIM_LOG(kDebug, sim.Now(), "mac", "tx data seq=" + std::to_string(seq));
+#define WLANSIM_LOG(level, now, component, message)                                     \
+  do {                                                                                  \
+    if (::wlansim::Logger::Enabled(::wlansim::LogLevel::level)) {                       \
+      ::wlansim::Logger::Write(::wlansim::LogLevel::level, (now), (component), (message)); \
+    }                                                                                   \
+  } while (0)
+
+#endif  // WLANSIM_CORE_LOGGING_H_

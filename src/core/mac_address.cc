@@ -1,0 +1,14 @@
+#include "core/mac_address.h"
+
+#include <cstdio>
+
+namespace wlansim {
+
+std::string MacAddress::ToString() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0], bytes_[1], bytes_[2],
+                bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+}  // namespace wlansim

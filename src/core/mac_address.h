@@ -1,0 +1,61 @@
+// 48-bit IEEE 802 MAC address value type.
+
+#ifndef WLANSIM_CORE_MAC_ADDRESS_H_
+#define WLANSIM_CORE_MAC_ADDRESS_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace wlansim {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  explicit constexpr MacAddress(std::array<uint8_t, 6> bytes) : bytes_(bytes) {}
+
+  // Builds a locally-administered unicast address from a small integer id:
+  // 02:00:00:xx:xx:xx. Convenient for simulated nodes.
+  static constexpr MacAddress FromId(uint32_t id) {
+    return MacAddress({0x02, 0x00, 0x00, static_cast<uint8_t>(id >> 16),
+                       static_cast<uint8_t>(id >> 8), static_cast<uint8_t>(id)});
+  }
+
+  static constexpr MacAddress Broadcast() {
+    return MacAddress({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  }
+
+  constexpr const std::array<uint8_t, 6>& bytes() const { return bytes_; }
+
+  constexpr bool IsBroadcast() const { return *this == Broadcast(); }
+  constexpr bool IsGroup() const { return (bytes_[0] & 0x01) != 0; }
+
+  friend constexpr auto operator<=>(const MacAddress&, const MacAddress&) = default;
+
+  std::string ToString() const;
+
+  // Packs the address into a uint64 (big-endian byte order) for hashing.
+  constexpr uint64_t ToU64() const {
+    uint64_t v = 0;
+    for (uint8_t b : bytes_) {
+      v = (v << 8) | b;
+    }
+    return v;
+  }
+
+ private:
+  std::array<uint8_t, 6> bytes_ = {};
+};
+
+}  // namespace wlansim
+
+template <>
+struct std::hash<wlansim::MacAddress> {
+  size_t operator()(const wlansim::MacAddress& a) const noexcept {
+    return std::hash<uint64_t>{}(a.ToU64());
+  }
+};
+
+#endif  // WLANSIM_CORE_MAC_ADDRESS_H_

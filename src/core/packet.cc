@@ -1,0 +1,39 @@
+#include "core/packet.h"
+
+#include <cassert>
+
+namespace wlansim {
+
+uint64_t Packet::next_uid_ = 1;
+
+void Packet::AddHeader(std::span<const uint8_t> header) {
+  if (header.size() > head_) {
+    // Grow headroom: shift existing content right.
+    const size_t grow = header.size() - head_ + kDefaultHeadroom;
+    buf_.insert(buf_.begin(), grow, 0);
+    head_ += grow;
+  }
+  head_ -= header.size();
+  std::memcpy(buf_.data() + head_, header.data(), header.size());
+}
+
+void Packet::RemoveHeader(size_t n) {
+  assert(n <= size());
+  head_ += n;
+}
+
+void Packet::AddTrailer(std::span<const uint8_t> trailer) {
+  buf_.insert(buf_.end(), trailer.begin(), trailer.end());
+}
+
+void Packet::RemoveTrailer(size_t n) {
+  assert(n <= size());
+  buf_.resize(buf_.size() - n);
+}
+
+void Packet::SetBytes(std::span<const uint8_t> content) {
+  buf_.assign(content.begin(), content.end());
+  head_ = 0;
+}
+
+}  // namespace wlansim

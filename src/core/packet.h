@@ -1,0 +1,80 @@
+// Simulated packet: a byte buffer with cheap header prepend/strip plus
+// side-band metadata that models out-of-band driver state (flow ids,
+// timestamps) without being serialized on the air.
+
+#ifndef WLANSIM_CORE_PACKET_H_
+#define WLANSIM_CORE_PACKET_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "core/time.h"
+
+namespace wlansim {
+
+// Out-of-band metadata carried alongside the bytes. Not part of the frame.
+struct PacketMeta {
+  uint32_t flow_id = 0;     // application flow identifier
+  uint32_t app_seq = 0;     // application-level sequence number
+  Time created;             // when the application generated the payload
+  Time mac_enqueued;        // when the MAC queue accepted the frame
+  uint8_t retries = 0;      // MAC retransmission count (filled by the MAC)
+  uint8_t priority = 0;     // 802.1D user priority (QoS class)
+};
+
+class Packet {
+ public:
+  Packet() : Packet(0) {}
+
+  // Creates a packet with `payload_size` zero bytes of payload.
+  explicit Packet(size_t payload_size, size_t headroom = kDefaultHeadroom)
+      : buf_(headroom + payload_size), head_(headroom), uid_(next_uid_++) {}
+
+  // Creates a packet holding a copy of `payload`.
+  explicit Packet(std::span<const uint8_t> payload, size_t headroom = kDefaultHeadroom)
+      : buf_(headroom + payload.size()), head_(headroom), uid_(next_uid_++) {
+    std::memcpy(buf_.data() + head_, payload.data(), payload.size());
+  }
+
+  size_t size() const { return buf_.size() - head_; }
+  bool empty() const { return size() == 0; }
+
+  std::span<const uint8_t> bytes() const { return {buf_.data() + head_, size()}; }
+  std::span<uint8_t> mutable_bytes() { return {buf_.data() + head_, size()}; }
+
+  // Prepends `header` (copies). Grows headroom if exhausted.
+  void AddHeader(std::span<const uint8_t> header);
+
+  // Strips `n` bytes from the front. Requires n <= size().
+  void RemoveHeader(size_t n);
+
+  // Appends `trailer` at the end.
+  void AddTrailer(std::span<const uint8_t> trailer);
+
+  // Strips `n` bytes from the end. Requires n <= size().
+  void RemoveTrailer(size_t n);
+
+  // Replaces the whole content (used by ciphers that re-frame the body).
+  void SetBytes(std::span<const uint8_t> content);
+
+  uint64_t uid() const { return uid_; }
+
+  PacketMeta& meta() { return meta_; }
+  const PacketMeta& meta() const { return meta_; }
+
+ private:
+  static constexpr size_t kDefaultHeadroom = 64;
+
+  std::vector<uint8_t> buf_;
+  size_t head_ = 0;
+  uint64_t uid_ = 0;
+  PacketMeta meta_;
+
+  static uint64_t next_uid_;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_CORE_PACKET_H_

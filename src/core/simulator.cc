@@ -1,0 +1,19 @@
+#include "core/simulator.h"
+
+namespace wlansim {
+
+void Simulator::RunUntil(Time horizon) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.IsEmpty() && queue_.NextTime() <= horizon) {
+    Time at;
+    auto fn = queue_.PopNext(&at);
+    now_ = at;
+    ++events_executed_;
+    fn();
+  }
+  if (now_ < horizon && horizon != Time::Max()) {
+    now_ = horizon;
+  }
+}
+
+}  // namespace wlansim

@@ -1,0 +1,61 @@
+// The discrete-event simulation kernel.
+//
+// A Simulator owns the event queue and the simulation clock. It is an
+// explicit object (no global singleton) so tests can run many independent
+// simulations in one process and scenarios can be constructed side by side.
+
+#ifndef WLANSIM_CORE_SIMULATOR_H_
+#define WLANSIM_CORE_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/event_queue.h"
+#include "core/time.h"
+
+namespace wlansim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulation time. Starts at zero.
+  Time Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` after Now(). Negative delays are clamped to
+  // zero (run "immediately after" the current event, preserving FIFO order).
+  EventId Schedule(Time delay, std::function<void()> fn) {
+    Time at = delay.IsNegative() ? now_ : now_ + delay;
+    return queue_.Schedule(at, std::move(fn));
+  }
+
+  // Schedules `fn` at absolute time `at` (clamped to Now()).
+  EventId ScheduleAt(Time at, std::function<void()> fn) {
+    if (at < now_) {
+      at = now_;
+    }
+    return queue_.Schedule(at, std::move(fn));
+  }
+
+  // Runs events until the queue drains, Stop() is called, or the optional
+  // horizon is reached (events at exactly the horizon still run).
+  void Run() { RunUntil(Time::Max()); }
+  void RunUntil(Time horizon);
+
+  // Stops the run loop after the current event returns.
+  void Stop() { stopped_ = true; }
+
+  uint64_t EventsExecuted() const { return events_executed_; }
+
+ private:
+  EventQueue queue_;
+  Time now_;
+  bool stopped_ = false;
+  uint64_t events_executed_ = 0;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_CORE_SIMULATOR_H_

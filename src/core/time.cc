@@ -1,0 +1,28 @@
+#include "core/time.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace wlansim {
+
+std::string Time::ToString() const {
+  char buf[64];
+  const double abs_ps = std::fabs(static_cast<double>(ps_));
+  if (ps_ % 1'000'000'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "s", ps_ / 1'000'000'000'000);
+  } else if (abs_ps >= 1e12) {
+    std::snprintf(buf, sizeof(buf), "%.6gs", seconds());
+  } else if (abs_ps >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.6gms", millis());
+  } else if (abs_ps >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.6gus", micros());
+  } else if (abs_ps >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.6gns", nanos());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ps", ps_);
+  }
+  return buf;
+}
+
+}  // namespace wlansim

@@ -1,0 +1,114 @@
+// Simulation time: a strongly-typed count of integer picoseconds.
+//
+// 802.11 PLCP arithmetic involves byte durations such as 8/11 us (802.11b at
+// 11 Mb/s) that are not integral in nanoseconds; picosecond resolution keeps
+// whole-frame durations (computed in a single integer division) exact to
+// < 1 ps, so event ordering never depends on floating-point rounding. An
+// int64 count of picoseconds covers ~106 days, far beyond any simulated
+// scenario.
+
+#ifndef WLANSIM_CORE_TIME_H_
+#define WLANSIM_CORE_TIME_H_
+
+#include <compare>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace wlansim {
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  // Named constructors. Fractional inputs are rounded to the nearest
+  // picosecond.
+  static constexpr Time Picos(int64_t ps) { return Time(ps); }
+  static constexpr Time Nanos(int64_t ns) { return Time(ns * 1'000); }
+  static constexpr Time Micros(int64_t us) { return Time(us * 1'000'000); }
+  static constexpr Time Millis(int64_t ms) { return Time(ms * 1'000'000'000); }
+  static constexpr Time Seconds(int64_t s) { return Time(s * 1'000'000'000'000); }
+  template <typename F>
+    requires std::floating_point<F>
+  static constexpr Time Seconds(F s) {
+    return FromDouble(static_cast<double>(s) * 1e12);
+  }
+  template <typename F>
+    requires std::floating_point<F>
+  static constexpr Time Millis(F ms) {
+    return FromDouble(static_cast<double>(ms) * 1e9);
+  }
+  template <typename F>
+    requires std::floating_point<F>
+  static constexpr Time Micros(F us) {
+    return FromDouble(static_cast<double>(us) * 1e6);
+  }
+  template <typename F>
+    requires std::floating_point<F>
+  static constexpr Time Nanos(F ns) {
+    return FromDouble(static_cast<double>(ns) * 1e3);
+  }
+
+  static constexpr Time Zero() { return Time(0); }
+  static constexpr Time Max() { return Time(std::numeric_limits<int64_t>::max()); }
+
+  constexpr int64_t picos() const { return ps_; }
+  constexpr double nanos() const { return static_cast<double>(ps_) * 1e-3; }
+  constexpr double micros() const { return static_cast<double>(ps_) * 1e-6; }
+  constexpr double millis() const { return static_cast<double>(ps_) * 1e-9; }
+  constexpr double seconds() const { return static_cast<double>(ps_) * 1e-12; }
+
+  constexpr bool IsZero() const { return ps_ == 0; }
+  constexpr bool IsNegative() const { return ps_ < 0; }
+  constexpr bool IsStrictlyPositive() const { return ps_ > 0; }
+
+  friend constexpr auto operator<=>(Time a, Time b) = default;
+
+  constexpr Time operator+(Time other) const { return Time(ps_ + other.ps_); }
+  constexpr Time operator-(Time other) const { return Time(ps_ - other.ps_); }
+  constexpr Time operator-() const { return Time(-ps_); }
+  constexpr Time& operator+=(Time other) {
+    ps_ += other.ps_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time other) {
+    ps_ -= other.ps_;
+    return *this;
+  }
+  constexpr Time operator*(int64_t k) const { return Time(ps_ * k); }
+  template <typename F>
+    requires std::floating_point<F>
+  constexpr Time operator*(F k) const {
+    return FromDouble(static_cast<double>(ps_) * static_cast<double>(k));
+  }
+  constexpr Time operator/(int64_t k) const { return Time(ps_ / k); }
+  // Ratio of two durations.
+  constexpr double operator/(Time other) const {
+    return static_cast<double>(ps_) / static_cast<double>(other.ps_);
+  }
+
+  // Human-readable rendering with an auto-selected unit, e.g. "12.5us".
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Time(int64_t ps) : ps_(ps) {}
+
+  static constexpr Time FromDouble(double ps) {
+    // Round half away from zero; constexpr-friendly (no std::llround).
+    return Time(static_cast<int64_t>(ps < 0 ? ps - 0.5 : ps + 0.5));
+  }
+
+  int64_t ps_ = 0;
+};
+
+constexpr Time operator*(int64_t k, Time t) { return t * k; }
+template <typename F>
+  requires std::floating_point<F>
+constexpr Time operator*(F k, Time t) {
+  return t * k;
+}
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_CORE_TIME_H_

@@ -1,0 +1,48 @@
+// RF power/ratio unit conversions used throughout the PHY.
+
+#ifndef WLANSIM_CORE_UNITS_H_
+#define WLANSIM_CORE_UNITS_H_
+
+#include <cmath>
+
+namespace wlansim {
+
+// Decibel-milliwatts → milliwatts.
+inline double DbmToMw(double dbm) {
+  return std::pow(10.0, dbm / 10.0);
+}
+
+// Milliwatts → decibel-milliwatts. mw must be > 0.
+inline double MwToDbm(double mw) {
+  return 10.0 * std::log10(mw);
+}
+
+// Linear power ratio → decibels.
+inline double RatioToDb(double ratio) {
+  return 10.0 * std::log10(ratio);
+}
+
+// Decibels → linear power ratio.
+inline double DbToRatio(double db) {
+  return std::pow(10.0, db / 10.0);
+}
+
+// Watts helpers (channel math is done in watts internally).
+inline double DbmToW(double dbm) {
+  return DbmToMw(dbm) * 1e-3;
+}
+inline double WToDbm(double w) {
+  return MwToDbm(w * 1e3);
+}
+
+// Thermal noise floor in watts for a given bandwidth (Hz) and noise figure
+// (dB): k*T0*B*F with T0 = 290 K.
+inline double ThermalNoiseW(double bandwidth_hz, double noise_figure_db) {
+  constexpr double kBoltzmann = 1.380649e-23;
+  constexpr double kT0 = 290.0;
+  return kBoltzmann * kT0 * bandwidth_hz * DbToRatio(noise_figure_db);
+}
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_CORE_UNITS_H_

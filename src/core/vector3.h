@@ -1,0 +1,31 @@
+// 3-D position/velocity vector (metres, metres/second).
+
+#ifndef WLANSIM_CORE_VECTOR3_H_
+#define WLANSIM_CORE_VECTOR3_H_
+
+#include <cmath>
+
+namespace wlansim {
+
+struct Vector3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vector3 operator+(const Vector3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vector3 operator-(const Vector3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vector3 operator*(double k) const { return {x * k, y * k, z * k}; }
+  constexpr bool operator==(const Vector3&) const = default;
+
+  double Length() const { return std::sqrt(x * x + y * y + z * z); }
+
+  double DistanceTo(const Vector3& o) const { return (*this - o).Length(); }
+};
+
+constexpr Vector3 operator*(double k, const Vector3& v) {
+  return v * k;
+}
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_CORE_VECTOR3_H_

@@ -1,0 +1,150 @@
+#include "crypto/aes.h"
+
+#include <cstring>
+
+namespace wlansim {
+namespace {
+
+// Computes the AES S-box at compile time from the finite-field inverse plus
+// the affine transform, avoiding a hand-transcribed table.
+constexpr uint8_t GfMul(uint8_t a, uint8_t b) {
+  uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) {
+      p ^= a;
+    }
+    const bool hi = (a & 0x80) != 0;
+    a = static_cast<uint8_t>(a << 1);
+    if (hi) {
+      a ^= 0x1B;  // x^8 + x^4 + x^3 + x + 1
+    }
+    b >>= 1;
+  }
+  return p;
+}
+
+constexpr uint8_t GfInverse(uint8_t a) {
+  if (a == 0) {
+    return 0;
+  }
+  // a^(2^8 - 2) = a^254 by square-and-multiply.
+  uint8_t result = 1;
+  uint8_t base = a;
+  int e = 254;
+  while (e > 0) {
+    if (e & 1) {
+      result = GfMul(result, base);
+    }
+    base = GfMul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+constexpr std::array<uint8_t, 256> MakeSbox() {
+  std::array<uint8_t, 256> sbox{};
+  for (int i = 0; i < 256; ++i) {
+    const uint8_t inv = GfInverse(static_cast<uint8_t>(i));
+    uint8_t x = inv;
+    uint8_t y = inv;
+    for (int k = 0; k < 4; ++k) {
+      y = static_cast<uint8_t>((y << 1) | (y >> 7));
+      x ^= y;
+    }
+    sbox[i] = x ^ 0x63;
+  }
+  return sbox;
+}
+
+constexpr std::array<uint8_t, 256> kSbox = MakeSbox();
+
+constexpr uint8_t Xtime(uint8_t a) {
+  return static_cast<uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1B : 0x00));
+}
+
+void SubBytes(uint8_t state[16]) {
+  for (int i = 0; i < 16; ++i) {
+    state[i] = kSbox[state[i]];
+  }
+}
+
+// State is column-major: state[4*c + r] is row r, column c.
+void ShiftRows(uint8_t state[16]) {
+  uint8_t t;
+  // Row 1: shift left by 1.
+  t = state[1];
+  state[1] = state[5];
+  state[5] = state[9];
+  state[9] = state[13];
+  state[13] = t;
+  // Row 2: shift left by 2.
+  std::swap(state[2], state[10]);
+  std::swap(state[6], state[14]);
+  // Row 3: shift left by 3 (== right by 1).
+  t = state[15];
+  state[15] = state[11];
+  state[11] = state[7];
+  state[7] = state[3];
+  state[3] = t;
+}
+
+void MixColumns(uint8_t state[16]) {
+  for (int c = 0; c < 4; ++c) {
+    uint8_t* col = state + 4 * c;
+    const uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    const uint8_t all = a0 ^ a1 ^ a2 ^ a3;
+    col[0] = static_cast<uint8_t>(a0 ^ all ^ Xtime(a0 ^ a1));
+    col[1] = static_cast<uint8_t>(a1 ^ all ^ Xtime(a1 ^ a2));
+    col[2] = static_cast<uint8_t>(a2 ^ all ^ Xtime(a2 ^ a3));
+    col[3] = static_cast<uint8_t>(a3 ^ all ^ Xtime(a3 ^ a0));
+  }
+}
+
+void AddRoundKey(uint8_t state[16], const uint8_t* rk) {
+  for (int i = 0; i < 16; ++i) {
+    state[i] ^= rk[i];
+  }
+}
+
+}  // namespace
+
+Aes128::Aes128(std::span<const uint8_t, kKeySize> key) {
+  std::memcpy(round_keys_.data(), key.data(), kKeySize);
+  uint8_t rcon = 0x01;
+  for (int i = 16; i < 176; i += 4) {
+    uint8_t temp[4];
+    std::memcpy(temp, round_keys_.data() + i - 4, 4);
+    if (i % 16 == 0) {
+      // RotWord + SubWord + Rcon.
+      const uint8_t t0 = temp[0];
+      temp[0] = static_cast<uint8_t>(kSbox[temp[1]] ^ rcon);
+      temp[1] = kSbox[temp[2]];
+      temp[2] = kSbox[temp[3]];
+      temp[3] = kSbox[t0];
+      rcon = Xtime(rcon);
+    }
+    for (int k = 0; k < 4; ++k) {
+      round_keys_[static_cast<size_t>(i + k)] =
+          round_keys_[static_cast<size_t>(i + k - 16)] ^ temp[k];
+    }
+  }
+}
+
+void Aes128::EncryptBlock(std::span<const uint8_t, kBlockSize> in,
+                          std::span<uint8_t, kBlockSize> out) const {
+  uint8_t state[16];
+  std::memcpy(state, in.data(), 16);
+  AddRoundKey(state, round_keys_.data());
+  for (int round = 1; round <= 9; ++round) {
+    SubBytes(state);
+    ShiftRows(state);
+    MixColumns(state);
+    AddRoundKey(state, round_keys_.data() + 16 * round);
+  }
+  SubBytes(state);
+  ShiftRows(state);
+  AddRoundKey(state, round_keys_.data() + 160);
+  std::memcpy(out.data(), state, 16);
+}
+
+}  // namespace wlansim

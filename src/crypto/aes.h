@@ -1,0 +1,32 @@
+// AES-128 block cipher (FIPS-197), encryption direction only — CCM (counter
+// mode + CBC-MAC) never needs the inverse cipher.
+
+#ifndef WLANSIM_CRYPTO_AES_H_
+#define WLANSIM_CRYPTO_AES_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace wlansim {
+
+class Aes128 {
+ public:
+  static constexpr size_t kBlockSize = 16;
+  static constexpr size_t kKeySize = 16;
+
+  // Expands the 128-bit `key` into the round-key schedule.
+  explicit Aes128(std::span<const uint8_t, kKeySize> key);
+
+  // Encrypts one 16-byte block: out = E_k(in). in/out may alias.
+  void EncryptBlock(std::span<const uint8_t, kBlockSize> in,
+                    std::span<uint8_t, kBlockSize> out) const;
+
+ private:
+  // 11 round keys × 16 bytes.
+  std::array<uint8_t, 176> round_keys_;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_CRYPTO_AES_H_

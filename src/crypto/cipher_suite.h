@@ -1,0 +1,76 @@
+// Link-layer security encapsulation used by the 802.11 MAC.
+//
+// Each suite transforms a frame body: a security header (IV / extended IV /
+// CCMP header) is prepended and integrity bytes (ICV / MIC) are appended,
+// exactly matching the on-air byte overhead of real hardware:
+//
+//   suite   header  trailer   total extra bytes per MPDU
+//   Open       0       0        0
+//   WEP        4       4        8   (IV+KeyID, ICV)
+//   TKIP       8      12       20   (IV/ExtIV, Michael MIC + ICV)
+//   CCMP       8       8       16   (PN/ExtIV, CCM MIC)
+//
+// The MAC sees only the abstract LinkCipher interface; per-packet CPU cost
+// is measured separately by bench_m1_crypto.
+
+#ifndef WLANSIM_CRYPTO_CIPHER_SUITE_H_
+#define WLANSIM_CRYPTO_CIPHER_SUITE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/mac_address.h"
+
+namespace wlansim {
+
+enum class CipherSuite : uint8_t {
+  kOpen = 0,
+  kWep,
+  kTkip,
+  kCcmp,
+};
+
+std::string ToString(CipherSuite suite);
+
+// Bytes prepended to the frame body.
+size_t CipherHeaderBytes(CipherSuite suite);
+// Bytes appended to the frame body.
+size_t CipherTrailerBytes(CipherSuite suite);
+inline size_t CipherTotalOverheadBytes(CipherSuite suite) {
+  return CipherHeaderBytes(suite) + CipherTrailerBytes(suite);
+}
+
+// Addressing context the cipher needs (CCMP AAD/nonce, Michael DA/SA).
+struct FrameCryptoContext {
+  MacAddress ta;  // transmitter (address 2)
+  MacAddress da;  // destination
+  MacAddress sa;  // source
+  uint8_t priority = 0;
+};
+
+// A keyed, stateful (per-packet counters) cipher bound to one link direction.
+class LinkCipher {
+ public:
+  virtual ~LinkCipher() = default;
+
+  virtual CipherSuite suite() const = 0;
+
+  // Encapsulates `body` in place (header + trailer added).
+  virtual void Protect(const FrameCryptoContext& ctx, std::vector<uint8_t>& body) = 0;
+
+  // Decapsulates `body` in place. Returns false on integrity/replay failure
+  // (body contents are then unspecified).
+  virtual bool Unprotect(const FrameCryptoContext& ctx, std::vector<uint8_t>& body) = 0;
+};
+
+// Factory. `key` length: WEP 5 or 13 bytes, TKIP 16 (+8 Michael derived
+// internally), CCMP 16. Open ignores the key.
+std::unique_ptr<LinkCipher> CreateCipher(CipherSuite suite, std::span<const uint8_t> key);
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_CRYPTO_CIPHER_SUITE_H_

@@ -1,0 +1,42 @@
+#include "crypto/crc32.h"
+
+#include <array>
+
+namespace wlansim {
+namespace {
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+void Crc32Builder::Update(std::span<const uint8_t> data) {
+  uint32_t c = state_;
+  for (uint8_t b : data) {
+    c = kTable[(c ^ b) & 0xFF] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+void Crc32Builder::Update(uint8_t byte) {
+  state_ = kTable[(state_ ^ byte) & 0xFF] ^ (state_ >> 8);
+}
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  Crc32Builder builder;
+  builder.Update(data);
+  return builder.Finalize();
+}
+
+}  // namespace wlansim

@@ -1,0 +1,30 @@
+// CRC-32 (IEEE 802.3 polynomial 0x04C11DB7, reflected 0xEDB88320).
+//
+// Used both as the 802.11 frame check sequence (FCS) and as the WEP
+// integrity check value (ICV).
+
+#ifndef WLANSIM_CRYPTO_CRC32_H_
+#define WLANSIM_CRYPTO_CRC32_H_
+
+#include <cstdint>
+#include <span>
+
+namespace wlansim {
+
+// One-shot CRC-32 of `data` (init 0xFFFFFFFF, final xor 0xFFFFFFFF).
+uint32_t Crc32(std::span<const uint8_t> data);
+
+// Incremental interface for multi-buffer frames.
+class Crc32Builder {
+ public:
+  void Update(std::span<const uint8_t> data);
+  void Update(uint8_t byte);
+  uint32_t Finalize() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_CRYPTO_CRC32_H_

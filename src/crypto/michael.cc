@@ -1,0 +1,86 @@
+#include "crypto/michael.h"
+
+#include <vector>
+
+namespace wlansim {
+namespace {
+
+constexpr uint32_t RotL(uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+constexpr uint32_t RotR(uint32_t x, int k) {
+  return (x >> k) | (x << (32 - k));
+}
+// Swaps the bytes within each 16-bit half.
+constexpr uint32_t XSwap(uint32_t x) {
+  return ((x & 0xFF00FF00u) >> 8) | ((x & 0x00FF00FFu) << 8);
+}
+
+void BlockFunction(uint32_t& l, uint32_t& r) {
+  r ^= RotL(l, 17);
+  l += r;
+  r ^= XSwap(l);
+  l += r;
+  r ^= RotL(l, 3);
+  l += r;
+  r ^= RotR(l, 2);
+  l += r;
+}
+
+uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+std::array<uint8_t, Michael::kMicSize> Run(std::span<const uint8_t, Michael::kKeySize> key,
+                                           std::span<const uint8_t> head,
+                                           std::span<const uint8_t> tail) {
+  uint32_t l = LoadLe32(key.data());
+  uint32_t r = LoadLe32(key.data() + 4);
+
+  // Concatenate head|tail|0x5a|zero-pad to a word boundary, then absorb
+  // word by word. The padded stream is materialized for clarity; MSDUs are
+  // small so this is not a hot path concern.
+  std::vector<uint8_t> stream;
+  stream.reserve(head.size() + tail.size() + 8);
+  stream.insert(stream.end(), head.begin(), head.end());
+  stream.insert(stream.end(), tail.begin(), tail.end());
+  // Padding per the standard: 0x5a followed by 4 to 7 zero bytes, bringing
+  // the stream to a 32-bit word boundary (verified against the 802.11i
+  // Annex chained test vectors).
+  stream.push_back(0x5a);
+  for (int i = 0; i < 4; ++i) {
+    stream.push_back(0x00);
+  }
+  while (stream.size() % 4 != 0) {
+    stream.push_back(0x00);
+  }
+  for (size_t i = 0; i < stream.size(); i += 4) {
+    l ^= LoadLe32(stream.data() + i);
+    BlockFunction(l, r);
+  }
+
+  return {static_cast<uint8_t>(l), static_cast<uint8_t>(l >> 8), static_cast<uint8_t>(l >> 16),
+          static_cast<uint8_t>(l >> 24), static_cast<uint8_t>(r), static_cast<uint8_t>(r >> 8),
+          static_cast<uint8_t>(r >> 16), static_cast<uint8_t>(r >> 24)};
+}
+
+}  // namespace
+
+std::array<uint8_t, Michael::kMicSize> Michael::Compute(std::span<const uint8_t, kKeySize> key,
+                                                        std::span<const uint8_t> data) {
+  return Run(key, {}, data);
+}
+
+std::array<uint8_t, Michael::kMicSize> Michael::ComputeForMsdu(
+    std::span<const uint8_t, kKeySize> key, const MacAddress& da, const MacAddress& sa,
+    uint8_t priority, std::span<const uint8_t> payload) {
+  uint8_t header[16];
+  std::copy(da.bytes().begin(), da.bytes().end(), header);
+  std::copy(sa.bytes().begin(), sa.bytes().end(), header + 6);
+  header[12] = priority;
+  header[13] = header[14] = header[15] = 0;
+  return Run(key, std::span<const uint8_t>(header, 16), payload);
+}
+
+}  // namespace wlansim

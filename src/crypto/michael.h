@@ -1,0 +1,38 @@
+// Michael message integrity code (TKIP, IEEE 802.11i).
+//
+// Michael is a deliberately lightweight 64-bit keyed MIC computable on
+// 2002-era access-point CPUs; its weakness is why TKIP pairs it with
+// countermeasures. We implement the reference algorithm exactly.
+
+#ifndef WLANSIM_CRYPTO_MICHAEL_H_
+#define WLANSIM_CRYPTO_MICHAEL_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "core/mac_address.h"
+
+namespace wlansim {
+
+class Michael {
+ public:
+  static constexpr size_t kKeySize = 8;
+  static constexpr size_t kMicSize = 8;
+
+  // Computes MIC(key, data) over raw `data` (the form used by the standard's
+  // chained test vectors). Padding (0x5a + zeros) is applied internally.
+  static std::array<uint8_t, kMicSize> Compute(std::span<const uint8_t, kKeySize> key,
+                                               std::span<const uint8_t> data);
+
+  // Computes the MIC over an MSDU the way TKIP does: a pseudo-header
+  // DA | SA | priority | 0 0 0 is authenticated ahead of the payload.
+  static std::array<uint8_t, kMicSize> ComputeForMsdu(std::span<const uint8_t, kKeySize> key,
+                                                      const MacAddress& da, const MacAddress& sa,
+                                                      uint8_t priority,
+                                                      std::span<const uint8_t> payload);
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_CRYPTO_MICHAEL_H_

@@ -1,0 +1,39 @@
+#include "crypto/rc4.h"
+
+#include <cassert>
+#include <utility>
+
+namespace wlansim {
+
+Rc4::Rc4(std::span<const uint8_t> key) {
+  assert(!key.empty() && key.size() <= 256);
+  for (int i = 0; i < 256; ++i) {
+    s_[i] = static_cast<uint8_t>(i);
+  }
+  uint8_t j = 0;
+  for (int i = 0; i < 256; ++i) {
+    j = static_cast<uint8_t>(j + s_[i] + key[static_cast<size_t>(i) % key.size()]);
+    std::swap(s_[i], s_[j]);
+  }
+}
+
+uint8_t Rc4::Next() {
+  i_ = static_cast<uint8_t>(i_ + 1);
+  j_ = static_cast<uint8_t>(j_ + s_[i_]);
+  std::swap(s_[i_], s_[j_]);
+  return s_[static_cast<uint8_t>(s_[i_] + s_[j_])];
+}
+
+void Rc4::Process(std::span<uint8_t> data) {
+  for (uint8_t& b : data) {
+    b ^= Next();
+  }
+}
+
+void Rc4::Skip(size_t n) {
+  for (size_t k = 0; k < n; ++k) {
+    Next();
+  }
+}
+
+}  // namespace wlansim

@@ -1,0 +1,33 @@
+// RC4 stream cipher (as used by WEP and TKIP's WEP core).
+
+#ifndef WLANSIM_CRYPTO_RC4_H_
+#define WLANSIM_CRYPTO_RC4_H_
+
+#include <cstdint>
+#include <span>
+
+namespace wlansim {
+
+class Rc4 {
+ public:
+  // Initializes the keystream generator with `key` (1..256 bytes).
+  explicit Rc4(std::span<const uint8_t> key);
+
+  // Next keystream byte.
+  uint8_t Next();
+
+  // XORs `data` in place with the keystream (encrypt == decrypt).
+  void Process(std::span<uint8_t> data);
+
+  // Discards `n` keystream bytes (e.g. RC4-drop[n] hardening).
+  void Skip(size_t n);
+
+ private:
+  uint8_t s_[256];
+  uint8_t i_ = 0;
+  uint8_t j_ = 0;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_CRYPTO_RC4_H_

@@ -1,0 +1,142 @@
+#include "crypto/tkip.h"
+
+#include <array>
+
+namespace wlansim {
+namespace {
+
+// The TKIP S-box is derived from the AES S-box: for s = aes_sbox[i],
+// entry = (xtime(s) << 8) | (xtime(s) ^ s). Computing it at compile time
+// avoids transcription errors in a 256-entry table.
+constexpr uint8_t GfMulTk(uint8_t a, uint8_t b) {
+  uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) {
+      p ^= a;
+    }
+    const bool hi = (a & 0x80) != 0;
+    a = static_cast<uint8_t>(a << 1);
+    if (hi) {
+      a ^= 0x1B;
+    }
+    b >>= 1;
+  }
+  return p;
+}
+
+constexpr uint8_t GfInverseTk(uint8_t a) {
+  if (a == 0) {
+    return 0;
+  }
+  uint8_t result = 1;
+  uint8_t base = a;
+  int e = 254;
+  while (e > 0) {
+    if (e & 1) {
+      result = GfMulTk(result, base);
+    }
+    base = GfMulTk(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+constexpr uint8_t AesSboxEntry(uint8_t i) {
+  const uint8_t inv = GfInverseTk(i);
+  uint8_t x = inv;
+  uint8_t y = inv;
+  for (int k = 0; k < 4; ++k) {
+    y = static_cast<uint8_t>((y << 1) | (y >> 7));
+    x ^= y;
+  }
+  return x ^ 0x63;
+}
+
+constexpr std::array<uint16_t, 256> MakeTkipSbox() {
+  std::array<uint16_t, 256> table{};
+  for (int i = 0; i < 256; ++i) {
+    const uint8_t s = AesSboxEntry(static_cast<uint8_t>(i));
+    const uint8_t x2 = static_cast<uint8_t>((s << 1) ^ ((s & 0x80) ? 0x1B : 0x00));
+    table[i] = static_cast<uint16_t>((x2 << 8) | (x2 ^ s));
+  }
+  return table;
+}
+
+constexpr std::array<uint16_t, 256> kSbox = MakeTkipSbox();
+
+constexpr uint16_t SwapBytes(uint16_t v) {
+  return static_cast<uint16_t>((v << 8) | (v >> 8));
+}
+
+// The standard's _S_ function: 16-bit substitution built from two byte
+// lookups.
+constexpr uint16_t S(uint16_t v) {
+  return static_cast<uint16_t>(kSbox[v & 0xFF] ^ SwapBytes(kSbox[v >> 8]));
+}
+
+constexpr uint16_t Mk16(uint8_t hi, uint8_t lo) {
+  return static_cast<uint16_t>((hi << 8) | lo);
+}
+
+constexpr uint16_t RotR1(uint16_t v) {
+  return static_cast<uint16_t>((v >> 1) | (v << 15));
+}
+
+}  // namespace
+
+TkipMixer::Ttak TkipMixer::Phase1(std::span<const uint8_t, kTkSize> tk, const MacAddress& ta,
+                                  uint32_t iv32) {
+  const auto& a = ta.bytes();
+  Ttak p;
+  p[0] = static_cast<uint16_t>(iv32 & 0xFFFF);
+  p[1] = static_cast<uint16_t>(iv32 >> 16);
+  p[2] = Mk16(a[1], a[0]);
+  p[3] = Mk16(a[3], a[2]);
+  p[4] = Mk16(a[5], a[4]);
+
+  for (uint16_t i = 0; i < 8; ++i) {
+    const size_t j = 2 * (i & 1);
+    p[0] = static_cast<uint16_t>(p[0] + S(static_cast<uint16_t>(p[4] ^ Mk16(tk[1 + j], tk[0 + j]))));
+    p[1] = static_cast<uint16_t>(p[1] + S(static_cast<uint16_t>(p[0] ^ Mk16(tk[5 + j], tk[4 + j]))));
+    p[2] = static_cast<uint16_t>(p[2] + S(static_cast<uint16_t>(p[1] ^ Mk16(tk[9 + j], tk[8 + j]))));
+    p[3] = static_cast<uint16_t>(p[3] + S(static_cast<uint16_t>(p[2] ^ Mk16(tk[13 + j], tk[12 + j]))));
+    p[4] = static_cast<uint16_t>(p[4] + S(static_cast<uint16_t>(p[3] ^ Mk16(tk[1 + j], tk[0 + j]))) + i);
+  }
+  return p;
+}
+
+TkipMixer::Rc4Key TkipMixer::Phase2(const Ttak& ttak, std::span<const uint8_t, kTkSize> tk,
+                                    uint16_t iv16) {
+  uint16_t ppk[6];
+  for (int i = 0; i < 5; ++i) {
+    ppk[i] = ttak[static_cast<size_t>(i)];
+  }
+  ppk[5] = static_cast<uint16_t>(ttak[4] + iv16);
+
+  ppk[0] = static_cast<uint16_t>(ppk[0] + S(static_cast<uint16_t>(ppk[5] ^ Mk16(tk[1], tk[0]))));
+  ppk[1] = static_cast<uint16_t>(ppk[1] + S(static_cast<uint16_t>(ppk[0] ^ Mk16(tk[3], tk[2]))));
+  ppk[2] = static_cast<uint16_t>(ppk[2] + S(static_cast<uint16_t>(ppk[1] ^ Mk16(tk[5], tk[4]))));
+  ppk[3] = static_cast<uint16_t>(ppk[3] + S(static_cast<uint16_t>(ppk[2] ^ Mk16(tk[7], tk[6]))));
+  ppk[4] = static_cast<uint16_t>(ppk[4] + S(static_cast<uint16_t>(ppk[3] ^ Mk16(tk[9], tk[8]))));
+  ppk[5] = static_cast<uint16_t>(ppk[5] + S(static_cast<uint16_t>(ppk[4] ^ Mk16(tk[11], tk[10]))));
+
+  ppk[0] = static_cast<uint16_t>(ppk[0] + RotR1(static_cast<uint16_t>(ppk[5] ^ Mk16(tk[13], tk[12]))));
+  ppk[1] = static_cast<uint16_t>(ppk[1] + RotR1(static_cast<uint16_t>(ppk[0] ^ Mk16(tk[15], tk[14]))));
+  ppk[2] = static_cast<uint16_t>(ppk[2] + RotR1(ppk[1]));
+  ppk[3] = static_cast<uint16_t>(ppk[3] + RotR1(ppk[2]));
+  ppk[4] = static_cast<uint16_t>(ppk[4] + RotR1(ppk[3]));
+  ppk[5] = static_cast<uint16_t>(ppk[5] + RotR1(ppk[4]));
+
+  Rc4Key key;
+  key[0] = static_cast<uint8_t>(iv16 >> 8);
+  key[1] = static_cast<uint8_t>(((iv16 >> 8) | 0x20) & 0x7F);  // avoids RC4 weak keys
+  key[2] = static_cast<uint8_t>(iv16 & 0xFF);
+  key[3] = static_cast<uint8_t>((ppk[5] ^ Mk16(tk[1], tk[0])) >> 1);
+  for (int i = 0; i < 6; ++i) {
+    key[static_cast<size_t>(4 + 2 * i)] = static_cast<uint8_t>(ppk[i] & 0xFF);
+    key[static_cast<size_t>(5 + 2 * i)] = static_cast<uint8_t>(ppk[i] >> 8);
+  }
+  return key;
+}
+
+}  // namespace wlansim

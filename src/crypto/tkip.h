@@ -1,0 +1,36 @@
+// TKIP per-packet key mixing (IEEE 802.11i §8.3.2.5/.6).
+//
+// Phase 1 mixes the temporal key with the transmitter address and the upper
+// 32 IV bits into a TTAK (recomputed once per 65536 packets); phase 2 mixes
+// the TTAK with the lower 16 IV bits into the 128-bit per-packet RC4 key
+// whose first three bytes encode the WEP IV with the weak-key-avoiding
+// middle byte.
+
+#ifndef WLANSIM_CRYPTO_TKIP_H_
+#define WLANSIM_CRYPTO_TKIP_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "core/mac_address.h"
+
+namespace wlansim {
+
+class TkipMixer {
+ public:
+  static constexpr size_t kTkSize = 16;
+
+  using Ttak = std::array<uint16_t, 5>;
+  using Rc4Key = std::array<uint8_t, 16>;
+
+  // Phase 1: TTAK = P1(TK, TA, IV32).
+  static Ttak Phase1(std::span<const uint8_t, kTkSize> tk, const MacAddress& ta, uint32_t iv32);
+
+  // Phase 2: per-packet RC4 key = P2(TTAK, TK, IV16).
+  static Rc4Key Phase2(const Ttak& ttak, std::span<const uint8_t, kTkSize> tk, uint16_t iv16);
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_CRYPTO_TKIP_H_

@@ -1,0 +1,106 @@
+#include "mac/channel_access.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wlansim {
+
+ChannelAccessManager::ChannelAccessManager(Simulator* sim, Params params, Rng rng)
+    : sim_(sim), params_(params), rng_(rng) {}
+
+Time ChannelAccessManager::BusyEnd() const {
+  return std::max(phy_busy_end_, nav_end_);
+}
+
+void ChannelAccessManager::RequestAccess(uint32_t cw) {
+  if (access_requested_) {
+    return;
+  }
+  access_requested_ = true;
+  const uint32_t window = (cw == kUseMin) ? params_.cw_min : std::min(cw, params_.cw_max);
+  backoff_slots_drawn_ = DrawBackoffSlots(window);
+  backoff_remaining_ = backoff_slots_drawn_;
+  Reschedule();
+}
+
+void ChannelAccessManager::UpdateNav(Time until) {
+  if (until <= nav_end_) {
+    return;
+  }
+  nav_end_ = until;
+  Freeze();
+  Reschedule();
+}
+
+void ChannelAccessManager::NotifyRxStart(Time duration) {
+  Freeze();
+  phy_busy_end_ = std::max(phy_busy_end_, sim_->Now() + duration);
+  Reschedule();
+}
+
+void ChannelAccessManager::NotifyRxEnd(bool success) {
+  last_rx_failed_ = !success;
+  phy_busy_end_ = std::max(phy_busy_end_, sim_->Now());
+  Reschedule();
+}
+
+void ChannelAccessManager::NotifyTxStart(Time duration) {
+  Freeze();
+  last_rx_failed_ = false;
+  phy_busy_end_ = std::max(phy_busy_end_, sim_->Now() + duration);
+  Reschedule();
+}
+
+void ChannelAccessManager::NotifyCcaBusyStart(Time duration) {
+  Freeze();
+  phy_busy_end_ = std::max(phy_busy_end_, sim_->Now() + duration);
+  Reschedule();
+}
+
+void ChannelAccessManager::Freeze() {
+  grant_event_.Cancel();
+  if (!counting_down_) {
+    return;
+  }
+  counting_down_ = false;
+  const Time now = sim_->Now();
+  if (now > countdown_start_) {
+    const auto elapsed_slots =
+        static_cast<uint32_t>((now - countdown_start_).picos() / params_.slot.picos());
+    backoff_remaining_ -= std::min(backoff_remaining_, elapsed_slots);
+  }
+}
+
+void ChannelAccessManager::Reschedule() {
+  if (!access_requested_) {
+    return;
+  }
+  grant_event_.Cancel();
+  const Time now = sim_->Now();
+  const Time aifs = last_rx_failed_ ? params_.eifs : params_.difs;
+  const Time resume = std::max(now, BusyEnd() + aifs);
+  countdown_start_ = resume;
+  counting_down_ = true;
+  const Time grant_at = resume + params_.slot * static_cast<int64_t>(backoff_remaining_);
+  grant_event_ = sim_->ScheduleAt(grant_at, [this] { CheckAccess(); });
+}
+
+void ChannelAccessManager::CheckAccess() {
+  if (!access_requested_ || !counting_down_) {
+    return;
+  }
+  const Time now = sim_->Now();
+  const Time due = countdown_start_ + params_.slot * static_cast<int64_t>(backoff_remaining_);
+  if (now < due || now < BusyEnd()) {
+    Reschedule();
+    return;
+  }
+  access_requested_ = false;
+  counting_down_ = false;
+  backoff_remaining_ = 0;
+  if (granted_cb_) {
+    granted_cb_();
+  }
+}
+
+}  // namespace wlansim

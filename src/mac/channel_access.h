@@ -1,0 +1,99 @@
+// DCF channel access: DIFS deference, slotted binary-exponential backoff
+// with freezing, NAV virtual carrier sense, and EIFS after corrupted
+// receptions.
+//
+// The manager observes the PHY through the PhyListener interface and
+// maintains "the medium has been continuously idle since T". A backoff of k
+// slots is granted at max(T_idle_start + AIFS, request_time) + k*slot, with
+// the slot countdown frozen whenever the medium goes busy and resumed one
+// AIFS after it frees (EIFS instead when the last reception was corrupt).
+
+#ifndef WLANSIM_MAC_CHANNEL_ACCESS_H_
+#define WLANSIM_MAC_CHANNEL_ACCESS_H_
+
+#include <functional>
+
+#include "core/random.h"
+#include "core/simulator.h"
+#include "phy/wifi_phy.h"
+
+namespace wlansim {
+
+class ChannelAccessManager final : public PhyListener {
+ public:
+  struct Params {
+    Time slot;
+    Time sifs;
+    Time difs;
+    Time eifs;  // SIFS + ACK@base + DIFS
+    uint32_t cw_min;
+    uint32_t cw_max;
+  };
+
+  ChannelAccessManager(Simulator* sim, Params params, Rng rng);
+
+  void SetParams(const Params& params) { params_ = params; }
+  const Params& params() const { return params_; }
+
+  // Invoked exactly once per granted access; the MAC then owns the medium
+  // for one frame exchange sequence.
+  void SetAccessGrantedCallback(std::function<void()> cb) { granted_cb_ = std::move(cb); }
+
+  // Requests channel access with a fresh random backoff drawn from [0, cw].
+  // `cw` is the current contention window (kUseMin draws from cw_min).
+  // No-op if a request is already outstanding.
+  static constexpr uint32_t kUseMin = 0xFFFFFFFF;
+  void RequestAccess(uint32_t cw = kUseMin);
+
+  bool IsAccessRequested() const { return access_requested_; }
+
+  // Draws a fresh backoff count in [0, cw]; exposed for the MAC's retry CW
+  // handling and for tests.
+  uint32_t DrawBackoffSlots(uint32_t cw) { return static_cast<uint32_t>(rng_.UniformInt(0, cw)); }
+
+  // Virtual carrier sense: extends the busy period until `until` (absolute).
+  void UpdateNav(Time until);
+  Time nav_end() const { return nav_end_; }
+
+  // PhyListener.
+  void NotifyRxStart(Time duration) override;
+  void NotifyRxEnd(bool success) override;
+  void NotifyTxStart(Time duration) override;
+  void NotifyCcaBusyStart(Time duration) override;
+
+  // Diagnostics.
+  uint32_t last_backoff_slots() const { return backoff_slots_drawn_; }
+
+ private:
+  // The medium (physical + virtual) is busy until this instant.
+  Time BusyEnd() const;
+
+  // Handles "the medium just went busy at `now`": freeze the countdown.
+  void Freeze();
+
+  // (Re)schedules the grant-check event after state changes.
+  void Reschedule();
+
+  void CheckAccess();
+
+  Simulator* sim_;
+  Params params_;
+  Rng rng_;
+  std::function<void()> granted_cb_;
+
+  Time phy_busy_end_;           // physical carrier sense (rx/tx/cca)
+  Time nav_end_;                // virtual carrier sense
+  bool last_rx_failed_ = false;
+  Time last_busy_end_;          // when the current/most recent busy period ends
+
+  bool access_requested_ = false;
+  uint32_t backoff_remaining_ = 0;
+  uint32_t backoff_slots_drawn_ = 0;
+  Time countdown_start_;        // when the current countdown segment began
+  bool counting_down_ = false;
+  EventId grant_event_;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_MAC_CHANNEL_ACCESS_H_

@@ -1,0 +1,52 @@
+#include "mac/edca.h"
+
+namespace wlansim {
+
+std::string ToString(AccessCategory ac) {
+  switch (ac) {
+    case AccessCategory::kBackground:
+      return "AC_BK";
+    case AccessCategory::kBestEffort:
+      return "AC_BE";
+    case AccessCategory::kVideo:
+      return "AC_VI";
+    case AccessCategory::kVoice:
+      return "AC_VO";
+  }
+  return "?";
+}
+
+AccessCategory AcForPriority(uint8_t priority) {
+  // 802.1D priority → AC mapping per 802.11e.
+  switch (priority & 0x7) {
+    case 1:
+    case 2:
+      return AccessCategory::kBackground;
+    case 0:
+    case 3:
+      return AccessCategory::kBestEffort;
+    case 4:
+    case 5:
+      return AccessCategory::kVideo;
+    case 6:
+    case 7:
+      return AccessCategory::kVoice;
+  }
+  return AccessCategory::kBestEffort;
+}
+
+EdcaParams DefaultEdcaParams(AccessCategory ac, uint32_t phy_cw_min, uint32_t phy_cw_max) {
+  switch (ac) {
+    case AccessCategory::kBackground:
+      return {7, phy_cw_min, phy_cw_max};
+    case AccessCategory::kBestEffort:
+      return {3, phy_cw_min, phy_cw_max};
+    case AccessCategory::kVideo:
+      return {2, (phy_cw_min + 1) / 2 - 1, phy_cw_min};
+    case AccessCategory::kVoice:
+      return {2, (phy_cw_min + 1) / 4 - 1, (phy_cw_min + 1) / 2 - 1};
+  }
+  return {3, phy_cw_min, phy_cw_max};
+}
+
+}  // namespace wlansim

@@ -1,0 +1,45 @@
+// 802.11e EDCA access categories and their default parameter sets.
+//
+// Each AC contends independently with its own AIFS (= SIFS + AIFSN × slot)
+// and contention window; smaller AIFSN/CW means statistically earlier
+// access. Defaults follow the standard's table (derived from the PHY's
+// aCWmin/aCWmax). TXOP bursting is out of scope: each access wins one frame
+// exchange, which preserves the prioritization behaviour EDCA experiments
+// measure.
+
+#ifndef WLANSIM_MAC_EDCA_H_
+#define WLANSIM_MAC_EDCA_H_
+
+#include <cstdint>
+#include <string>
+
+#include "phy/wifi_mode.h"
+
+namespace wlansim {
+
+enum class AccessCategory : uint8_t {
+  kBackground = 0,  // AC_BK
+  kBestEffort = 1,  // AC_BE
+  kVideo = 2,       // AC_VI
+  kVoice = 3,       // AC_VO
+};
+
+constexpr size_t kAccessCategoryCount = 4;
+
+std::string ToString(AccessCategory ac);
+
+// 802.11 user priorities (TIDs 0-7) map onto the four ACs.
+AccessCategory AcForPriority(uint8_t priority);
+
+struct EdcaParams {
+  uint8_t aifsn;
+  uint32_t cw_min;
+  uint32_t cw_max;
+};
+
+// Standard default parameter set for `ac`, given the PHY's base CW bounds.
+EdcaParams DefaultEdcaParams(AccessCategory ac, uint32_t phy_cw_min, uint32_t phy_cw_max);
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_MAC_EDCA_H_

@@ -1,0 +1,36 @@
+#include "mac/mac_queue.h"
+
+namespace wlansim {
+
+bool MacQueue::Enqueue(Item item) {
+  if (items_.size() >= max_packets_) {
+    ++drops_;
+    return false;
+  }
+  items_.push_back(std::move(item));
+  return true;
+}
+
+bool MacQueue::EnqueueFront(Item item) {
+  if (items_.size() >= max_packets_ + 8) {  // small reserve for management
+    ++drops_;
+    return false;
+  }
+  items_.push_front(std::move(item));
+  return true;
+}
+
+std::optional<MacQueue::Item> MacQueue::Dequeue() {
+  if (items_.empty()) {
+    return std::nullopt;
+  }
+  Item item = std::move(items_.front());
+  items_.pop_front();
+  return item;
+}
+
+const MacQueue::Item* MacQueue::Peek() const {
+  return items_.empty() ? nullptr : &items_.front();
+}
+
+}  // namespace wlansim

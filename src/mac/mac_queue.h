@@ -1,0 +1,54 @@
+// Drop-tail transmit queue holding MSDUs awaiting channel access.
+
+#ifndef WLANSIM_MAC_MAC_QUEUE_H_
+#define WLANSIM_MAC_MAC_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "core/mac_address.h"
+#include "core/packet.h"
+
+namespace wlansim {
+
+class MacQueue {
+ public:
+  struct Item {
+    Packet msdu;
+    MacAddress dest;        // final destination (DA)
+    MacAddress src;         // original source (SA); equals own address unless bridged
+    uint8_t priority = 0;   // 802.1D user priority (EDCA mapping)
+    bool is_management = false;
+    // Pre-serialized management body frames carry their header template.
+    uint8_t mgmt_subtype = 0;
+    bool is_null = false;       // data null-function frame (PS signalling)
+    bool pm_bit = false;        // power-management bit to set in the header
+    bool more_data = false;     // more frames buffered for this PS receiver
+    bool ps_release = false;    // released by a PS-Poll: bypass the doze check
+  };
+
+  explicit MacQueue(size_t max_packets = 256) : max_packets_(max_packets) {}
+
+  // Returns false (and drops) when full. Management frames enqueue at the
+  // front (beacons/assoc must not starve behind data).
+  bool Enqueue(Item item);
+  bool EnqueueFront(Item item);
+
+  std::optional<Item> Dequeue();
+  const Item* Peek() const;
+
+  bool IsEmpty() const { return items_.empty(); }
+  size_t size() const { return items_.size(); }
+  size_t max_packets() const { return max_packets_; }
+  uint64_t drops() const { return drops_; }
+
+ private:
+  std::deque<Item> items_;
+  size_t max_packets_;
+  uint64_t drops_ = 0;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_MAC_MAC_QUEUE_H_

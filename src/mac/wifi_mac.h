@@ -1,0 +1,312 @@
+// IEEE 802.11 DCF/EDCA MAC: transmit sequencing (RTS/CTS/DATA/ACK with SIFS
+// spacing, retries with CW doubling, fragmentation bursts), reception
+// (duplicate detection, defragmentation, ACK/CTS responses, NAV updates),
+// link security encapsulation, and the infrastructure-mode management plane
+// (beaconing, passive scanning, authentication, association, roaming).
+//
+// One WifiMac instance drives one WifiPhy. The role selects behaviour:
+//   kAdhoc — IBSS peer-to-peer: data goes directly to the destination.
+//   kSta   — infrastructure station: data relays through the associated AP.
+//   kAp    — access point: beacons, accepts associations, bridges frames
+//            between its stations and delivers local traffic up.
+//
+// With `qos_enabled`, four EDCA access categories contend independently
+// (802.11e): each AC has its own queue, AIFS and contention window; internal
+// collisions resolve in favour of the higher AC, the loser doubling its CW
+// exactly as for an on-air collision.
+
+#ifndef WLANSIM_MAC_WIFI_MAC_H_
+#define WLANSIM_MAC_WIFI_MAC_H_
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/mac_address.h"
+#include "core/packet.h"
+#include "core/random.h"
+#include "core/simulator.h"
+#include "crypto/cipher_suite.h"
+#include "mac/channel_access.h"
+#include "mac/edca.h"
+#include "mac/frames.h"
+#include "mac/mac_queue.h"
+#include "phy/wifi_phy.h"
+#include "rate/rate_controller.h"
+
+namespace wlansim {
+
+enum class MacRole : uint8_t { kAdhoc, kSta, kAp };
+
+class WifiMac final : public PhyListener {
+ public:
+  struct Config {
+    MacRole role = MacRole::kAdhoc;
+    MacAddress address;
+    std::string ssid = "wlansim";
+    // MPDUs strictly larger than this are preceded by RTS/CTS (bytes;
+    // 2347 disables RTS for every legal frame).
+    uint32_t rts_threshold = 2347;
+    // MSDUs whose MPDU would exceed this are fragmented (bytes; 2346
+    // disables fragmentation).
+    uint32_t frag_threshold = 2346;
+    uint8_t retry_limit = 7;
+    Time beacon_interval = Time::Micros(static_cast<int64_t>(100) * 1024);
+    // ERP protection: transmit CTS-to-self at a DSSS rate before each OFDM
+    // data frame (b/g coexistence).
+    bool cts_to_self_protection = false;
+    // 802.11e EDCA: four prioritized access categories instead of one DCF.
+    bool qos_enabled = false;
+    // 802.11 power-save mode (STA only): doze between beacons, poll the AP
+    // for buffered traffic when the TIM indicates any.
+    bool power_save = false;
+    // Wake for every k-th beacon while in power save.
+    uint8_t listen_interval = 1;
+    CipherSuite cipher = CipherSuite::kOpen;
+    std::vector<uint8_t> cipher_key;
+    // STA scanning/roaming.
+    std::vector<uint8_t> scan_channels = {1};
+    Time scan_dwell = Time::Millis(60);
+    uint8_t beacon_loss_limit = 4;
+    size_t queue_limit = 256;
+  };
+
+  WifiMac(Simulator* sim, WifiPhy* phy, Config config, Rng rng);
+
+  // Wiring.
+  void SetRateController(RateController* rate) { rate_ = rate; }
+  // Delivered MSDUs: (payload, source, destination).
+  using ForwardUpCallback = std::function<void(Packet, MacAddress, MacAddress)>;
+  void SetForwardUpCallback(ForwardUpCallback cb) { forward_up_ = std::move(cb); }
+  // Association events: (associated, bssid).
+  using AssociationCallback = std::function<void(bool, MacAddress)>;
+  void SetAssociationCallback(AssociationCallback cb) { assoc_cb_ = std::move(cb); }
+  // Fires whenever a transmit sequence finishes (ok or dropped) — used by
+  // saturated traffic sources to keep the queue topped up.
+  using TxDoneCallback = std::function<void()>;
+  void SetTxDoneCallback(TxDoneCallback cb) { tx_done_ = std::move(cb); }
+
+  // Begins operation: AP starts beaconing, STA starts scanning.
+  void Start();
+
+  // Upper-layer transmit. `dest` is the final destination (DA); `priority`
+  // is the 802.1D user priority (0-7), mapped to an EDCA AC when QoS is on.
+  // Returns false if the queue is full.
+  bool Enqueue(Packet msdu, MacAddress dest, uint8_t priority = 0);
+
+  const MacAddress& address() const { return config_.address; }
+  MacRole role() const { return config_.role; }
+  bool IsAssociated() const {
+    return state_ == StaState::kAssociated || config_.role != MacRole::kSta;
+  }
+  MacAddress bssid() const { return bssid_; }
+  // Total frames queued across all access categories.
+  size_t QueueSize() const;
+  // Frames queued in the access category serving `priority`.
+  size_t QueueSizeForPriority(uint8_t priority) const;
+  WifiPhy* phy() const { return phy_; }
+
+  // PhyListener: medium-state notifications fan out to every AC's access
+  // manager.
+  void NotifyRxStart(Time duration) override;
+  void NotifyRxEnd(bool success) override;
+  void NotifyTxStart(Time duration) override;
+  void NotifyCcaBusyStart(Time duration) override;
+
+  struct Counters {
+    uint64_t tx_data_attempts = 0;
+    uint64_t tx_data_ok = 0;        // ACKed (or broadcast sent)
+    uint64_t tx_data_dropped = 0;   // retry limit exceeded
+    uint64_t tx_rts = 0;
+    uint64_t tx_cts = 0;
+    uint64_t tx_acks = 0;
+    uint64_t tx_beacons = 0;
+    uint64_t retries = 0;
+    uint64_t internal_collisions = 0;  // EDCA AC-vs-AC grants
+    uint64_t rx_data = 0;           // unique data MSDUs accepted
+    uint64_t rx_duplicates = 0;
+    uint64_t rx_decrypt_failures = 0;
+    uint64_t cts_timeouts = 0;
+    uint64_t ack_timeouts = 0;
+    uint64_t handoffs = 0;          // reassociations to a different AP
+    uint64_t beacons_received = 0;
+    uint64_t ps_polls = 0;          // PS-Polls sent (STA) or served (AP)
+    uint64_t ps_buffered = 0;       // frames buffered for dozing stations (AP)
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  // --- STA association state machine ---
+  enum class StaState : uint8_t {
+    kIdle,
+    kScanning,
+    kAuthenticating,
+    kAssociating,
+    kAssociated,
+  };
+
+  struct ScanResult {
+    MacAddress bssid;
+    uint8_t channel;
+    double rssi_dbm;
+  };
+
+  // One EDCA access category (or the single legacy DCF entity).
+  struct AcState {
+    MacQueue queue;
+    std::unique_ptr<ChannelAccessManager> access;
+    uint32_t cw_min;
+    uint32_t cw_max;
+
+    AcState(size_t queue_limit, std::unique_ptr<ChannelAccessManager> mgr, uint32_t min,
+            uint32_t max)
+        : queue(queue_limit), access(std::move(mgr)), cw_min(min), cw_max(max) {}
+  };
+
+  // --- transmit sequencing ---
+  struct TxContext {
+    MacQueue::Item item;
+    size_t ac_index = 0;
+    std::vector<std::pair<size_t, size_t>> fragments;  // (offset, length) into msdu
+    size_t current_fragment = 0;
+    uint8_t retries = 0;
+    uint32_t cw;
+    uint16_t sequence = 0;
+    bool awaiting_cts = false;
+    bool awaiting_ack = false;
+    WifiMode data_mode;
+  };
+
+  size_t AcIndexFor(uint8_t priority) const;
+  size_t MgmtAcIndex() const;
+  void OnAccessGranted(size_t ac_index);
+  void StartFrameExchange();
+  void SendRts();
+  void SendCtsToSelf();
+  void SendDataFragment();
+  void OnCtsTimeout();
+  void OnAckTimeout();
+  void TxAttemptFailed();
+  void FragmentAcked();
+  void SequenceComplete(bool success);
+  void MaybeRequestAccess();
+  uint16_t NextSequence(const MacAddress& dest);
+
+  // --- reception ---
+  void OnPhyReceive(Packet packet, const RxInfo& info);
+  void HandleRts(const MacHeader& header, const RxInfo& info);
+  void HandleCts(const MacHeader& header);
+  void HandleAck(const MacHeader& header);
+  void HandleData(const MacHeader& header, Packet packet, const RxInfo& info);
+  void HandleManagement(const MacHeader& header, Packet packet, const RxInfo& info);
+  void SendAck(const MacAddress& to, const WifiMode& eliciting_mode);
+  void SendCts(const MacAddress& to, uint16_t duration_us, const WifiMode& eliciting_mode);
+  bool IsDuplicate(const MacHeader& header);
+  void DeliverUp(Packet msdu, const MacAddress& src, const MacAddress& dest);
+  void UpdateNavAll(Time until);
+  Time NavEnd() const;
+
+  // --- management plane ---
+  void SendBeacon();
+  void ScheduleBeacon();
+  void StartScan();
+  void ScanNextChannel();
+  void FinishScan();
+  void SendAuthRequest();
+  void SendAssocRequest();
+  void OnMgmtTimeout();
+  void BeaconWatchdog();
+  void BecomeAssociated(const MacAddress& bssid, uint8_t channel);
+  void LoseAssociation();
+  void EnqueueMgmt(const MacAddress& dest, FrameSubtype subtype, std::vector<uint8_t> body);
+
+  // --- power save (wifi_mac_ps.cc) ---
+  void EnterPowerSave();
+  void PsSleep();
+  void PsWake();
+  void SendPsPoll();
+  void MaybeResumeSleep();
+  void HandlePsPoll(const MacHeader& header);
+  void HandleBeaconInPowerSave(const BeaconBody& body);
+  void ApBufferForDozing(MacQueue::Item item);
+  bool StaIsDozing(const MacAddress& sta) const;
+
+  // --- crypto ---
+  LinkCipher* CipherFor(const MacAddress& peer);
+
+  const WifiMode& BaseMode() const { return BaseModeFor(phy_->config().standard); }
+  // Mode for management/broadcast frames. 2.4 GHz ERP (11g) devices emit
+  // these at DSSS 1 Mb/s so legacy 11b stations can receive them.
+  const WifiMode& MgmtMode() const;
+  const WifiMode& ProtectionMode() const;
+  Time Sifs() const { return base_params_.sifs; }
+
+  Simulator* sim_;
+  WifiPhy* phy_;
+  Config config_;
+  Rng rng_;
+  ChannelAccessManager::Params base_params_;  // legacy DIFS timing (SIFS/slot source)
+  std::vector<AcState> acs_;                  // 1 entry (DCF) or 4 (EDCA)
+  RateController* rate_ = nullptr;
+  ForwardUpCallback forward_up_;
+  AssociationCallback assoc_cb_;
+  TxDoneCallback tx_done_;
+
+  std::optional<TxContext> tx_;
+  EventId response_timeout_;
+  std::unordered_map<MacAddress, uint16_t> sequence_counters_;
+
+  // Duplicate-detection cache: last (sequence<<4|fragment) per transmitter.
+  std::unordered_map<MacAddress, uint16_t> rx_dedup_;
+  // Defragmentation buffers per transmitter.
+  struct Reassembly {
+    uint16_t sequence;
+    uint8_t next_fragment;
+    std::vector<uint8_t> bytes;
+    PacketMeta meta;
+    MacAddress src;
+    MacAddress dest;
+  };
+  std::unordered_map<MacAddress, Reassembly> reassembly_;
+
+  std::unordered_map<MacAddress, std::unique_ptr<LinkCipher>> ciphers_;
+
+  // STA state.
+  StaState state_ = StaState::kIdle;
+  MacAddress bssid_;
+  MacAddress previous_bssid_;
+  std::vector<ScanResult> scan_results_;
+  size_t scan_index_ = 0;
+  Time last_beacon_rx_;
+  EventId mgmt_timeout_;
+  EventId watchdog_event_;
+  uint8_t mgmt_attempts_ = 0;
+
+  // STA power-save state.
+  uint16_t aid_ = 0;
+  Time last_tbtt_;  // target beacon tx time from the last beacon's timestamp
+  bool ps_cycle_active_ = false;   // the STA announced PM=1 to its AP
+  bool ps_awaiting_data_ = false;  // polled; waiting for the buffered frame
+  EventId wake_event_;
+
+  // AP state.
+  struct StaInfo {
+    uint16_t aid;
+    bool erp;              // peer can decode OFDM
+    bool dozing = false;   // last seen power-management bit
+    std::deque<MacQueue::Item> ps_buffer;
+  };
+  std::unordered_map<MacAddress, StaInfo> associated_stas_;
+  uint16_t next_aid_ = 1;
+
+  Counters counters_;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_MAC_WIFI_MAC_H_

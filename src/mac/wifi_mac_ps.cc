@@ -1,0 +1,155 @@
+// 802.11 power-save plane of WifiMac.
+//
+// STA cycle: announce PM=1 with a null-function frame, doze the radio, wake
+// just before every listen_interval-th beacon, check the TIM, and either
+// doze again or PS-Poll the AP until a frame with more_data=0 drains the
+// buffer. Uplink traffic enqueued while dozing wakes the radio immediately
+// (the PM bit stays set, so the AP keeps buffering downlink).
+//
+// AP side: frames addressed to a dozing station are diverted to that
+// station's PS buffer, advertised in the beacon TIM, and released one at a
+// time in response to PS-Polls with the more_data bit chaining the batch.
+//
+// Simplifications (documented): the TIM is an explicit AID list rather than
+// the partial-virtual-bitmap encoding; a lost PS-Poll is recovered by the
+// next beacon rather than a retry; DTIM multicast buffering is out of scope.
+
+#include "mac/wifi_mac.h"
+
+namespace wlansim {
+namespace {
+
+// Wake this long before the expected beacon to be listening when it lands.
+constexpr Time kWakeGuard = Time::Millis(2);
+
+}  // namespace
+
+void WifiMac::EnterPowerSave() {
+  if (config_.role != MacRole::kSta || state_ != StaState::kAssociated) {
+    return;
+  }
+  ps_cycle_active_ = true;
+  // Announce PM=1 with a null frame; PsSleep happens once the exchange
+  // completes (SequenceComplete → MaybeResumeSleep).
+  MacQueue::Item item;
+  item.msdu = Packet(0);
+  item.dest = bssid_;
+  item.src = config_.address;
+  item.is_null = true;
+  item.pm_bit = true;
+  acs_[MgmtAcIndex()].queue.EnqueueFront(std::move(item));
+  MaybeRequestAccess();
+}
+
+void WifiMac::PsSleep() {
+  if (!ps_cycle_active_ || state_ != StaState::kAssociated) {
+    return;
+  }
+  phy_->SetSleep(true);
+  // Wake ahead of the next listen-interval beacon. Anchor on the beacon's
+  // declared target time (its timestamp field), not its arrival time: the
+  // arrival includes DCF queueing jitter, and anchoring on a late beacon
+  // would make the station wake after the next (on-time) one has passed.
+  const Time interval =
+      config_.beacon_interval * static_cast<int64_t>(std::max<uint8_t>(config_.listen_interval, 1));
+  const Time anchor = last_tbtt_.IsZero() ? last_beacon_rx_ : last_tbtt_;
+  Time wake_at = anchor + interval - kWakeGuard;
+  const Time now = sim_->Now();
+  while (wake_at <= now) {
+    wake_at += interval;
+  }
+  wake_event_.Cancel();
+  wake_event_ = sim_->ScheduleAt(wake_at, [this] { PsWake(); });
+}
+
+void WifiMac::PsWake() {
+  if (!phy_->IsAsleep()) {
+    return;
+  }
+  wake_event_.Cancel();
+  phy_->SetSleep(false);
+  // Stay awake until the beacon arrives (HandleBeaconInPowerSave decides),
+  // or until the watchdog declares the AP lost. As a fallback, if no beacon
+  // arrives within two intervals the watchdog path roams.
+  MaybeRequestAccess();
+}
+
+void WifiMac::HandleBeaconInPowerSave(const BeaconBody& body) {
+  last_tbtt_ = Time::Micros(static_cast<int64_t>(body.timestamp_us));
+  if (body.TimContains(aid_)) {
+    ps_awaiting_data_ = true;
+    SendPsPoll();
+    return;
+  }
+  ps_awaiting_data_ = false;
+  MaybeResumeSleep();
+}
+
+void WifiMac::SendPsPoll() {
+  if (state_ != StaState::kAssociated) {
+    return;
+  }
+  ++counters_.ps_polls;
+  MacHeader poll;
+  poll.type = FrameType::kControl;
+  poll.subtype = FrameSubtype::kPsPoll;
+  poll.addr1 = bssid_;
+  poll.addr2 = config_.address;
+  poll.duration_us = aid_;  // the duration/ID field carries the AID
+  // PS-Poll is a control frame: sent directly (SIFS-class response rules
+  // are relaxed here; the AP answers through normal DCF access).
+  phy_->StartTx(BuildMpdu(poll, {}), MgmtMode());
+}
+
+void WifiMac::MaybeResumeSleep() {
+  if (config_.role != MacRole::kSta || !ps_cycle_active_ || ps_awaiting_data_) {
+    return;
+  }
+  if (tx_.has_value() || QueueSize() > 0 || phy_->IsAsleep()) {
+    return;
+  }
+  if (state_ != StaState::kAssociated) {
+    return;
+  }
+  PsSleep();
+}
+
+bool WifiMac::StaIsDozing(const MacAddress& sta) const {
+  auto it = associated_stas_.find(sta);
+  return it != associated_stas_.end() && it->second.dozing;
+}
+
+void WifiMac::ApBufferForDozing(MacQueue::Item item) {
+  auto it = associated_stas_.find(item.dest);
+  if (it == associated_stas_.end()) {
+    return;  // raced with disassociation: drop
+  }
+  ++counters_.ps_buffered;
+  constexpr size_t kPsBufferLimit = 64;
+  if (it->second.ps_buffer.size() >= kPsBufferLimit) {
+    it->second.ps_buffer.pop_front();  // oldest-first overflow
+  }
+  it->second.ps_buffer.push_back(std::move(item));
+}
+
+void WifiMac::HandlePsPoll(const MacHeader& header) {
+  if (config_.role != MacRole::kAp) {
+    return;
+  }
+  auto it = associated_stas_.find(header.addr2);
+  if (it == associated_stas_.end() || it->second.ps_buffer.empty()) {
+    return;
+  }
+  ++counters_.ps_polls;
+  MacQueue::Item item = std::move(it->second.ps_buffer.front());
+  it->second.ps_buffer.pop_front();
+  item.more_data = !it->second.ps_buffer.empty();
+  item.ps_release = true;  // the poll authorizes this one frame
+  // Release through the normal transmit path at the front of the queue.
+  // The station stays awake until it sees more_data == 0; its dozing state
+  // at the AP is unchanged (the PS-Poll's PM bit remains set).
+  acs_[AcIndexFor(item.priority)].queue.EnqueueFront(std::move(item));
+  MaybeRequestAccess();
+}
+
+}  // namespace wlansim

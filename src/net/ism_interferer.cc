@@ -1,0 +1,47 @@
+#include "net/ism_interferer.h"
+
+namespace wlansim {
+namespace {
+
+WifiPhy::Config OvenPhyConfig(const MicrowaveOven::Config& config) {
+  WifiPhy::Config phy;
+  phy.standard = PhyStandard::k80211b;  // 2.4 GHz band timing/frequency
+  phy.tx_power_dbm = config.tx_power_dbm;
+  phy.channel_number = config.channel_number;
+  phy.transmissions_undecodable = true;
+  return phy;
+}
+
+// Burst length is set by sending a "frame" whose airtime equals on_time at
+// 1 Mb/s: bytes = on_time * 1 Mb/s / 8 minus the 192 us PLCP.
+size_t BurstBytes(Time on_time) {
+  const double payload_us = on_time.micros() - 192.0;
+  return payload_us > 0 ? static_cast<size_t>(payload_us / 8.0) : 1;
+}
+
+}  // namespace
+
+MicrowaveOven::MicrowaveOven(Simulator* sim, Channel* channel, uint32_t node_id,
+                             const Config& config)
+    : sim_(sim),
+      config_(config),
+      mobility_(config.position),
+      phy_(sim, OvenPhyConfig(config), Rng(node_id * 7919 + 13)) {
+  phy_.AttachChannel(channel, node_id, &mobility_);
+}
+
+void MicrowaveOven::Start(Time at) {
+  sim_->ScheduleAt(at, [this] { EmitBurst(); });
+}
+
+void MicrowaveOven::EmitBurst() {
+  if (sim_->Now() >= stop_at_) {
+    return;
+  }
+  ++bursts_;
+  Packet burst(BurstBytes(config_.on_time));
+  phy_.StartTx(std::move(burst), BaseModeFor(PhyStandard::k80211b));
+  sim_->Schedule(config_.on_time + config_.off_time, [this] { EmitBurst(); });
+}
+
+}  // namespace wlansim

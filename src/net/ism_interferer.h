@@ -1,0 +1,52 @@
+// Non-802.11 ISM-band interference sources.
+//
+// The survey's installation-problems section calls out "other sources of
+// radio signals" in the 2.4 GHz band — microwave ovens foremost. A microwave
+// oven radiates a strong, wideband-ish burst locked to the mains half-cycle:
+// roughly 50 % duty at 50/60 Hz (8-10 ms on, 8-10 ms off) while the
+// magnetron runs. This module emits such bursts through the normal channel
+// as undecodable energy, so CCA defers and overlapping receptions degrade
+// exactly as with any interference.
+
+#ifndef WLANSIM_NET_ISM_INTERFERER_H_
+#define WLANSIM_NET_ISM_INTERFERER_H_
+
+#include "core/simulator.h"
+#include "phy/channel.h"
+#include "phy/mobility.h"
+#include "phy/wifi_phy.h"
+
+namespace wlansim {
+
+class MicrowaveOven {
+ public:
+  struct Config {
+    Vector3 position{};
+    double tx_power_dbm = 20.0;   // leakage power seen in-band
+    Time on_time = Time::Millis(8);   // magnetron on per mains half-cycle
+    Time off_time = Time::Millis(12); // (50 Hz mains: 20 ms period)
+    uint8_t channel_number = 1;
+  };
+
+  MicrowaveOven(Simulator* sim, Channel* channel, uint32_t node_id, const Config& config);
+
+  // Starts/stops the cooking cycle.
+  void Start(Time at);
+  void Stop(Time at) { stop_at_ = at; }
+
+  uint64_t bursts_emitted() const { return bursts_; }
+
+ private:
+  void EmitBurst();
+
+  Simulator* sim_;
+  Config config_;
+  ConstantPositionMobility mobility_;
+  WifiPhy phy_;
+  Time stop_at_ = Time::Max();
+  uint64_t bursts_ = 0;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_NET_ISM_INTERFERER_H_

@@ -1,0 +1,59 @@
+#include "net/node.h"
+
+namespace wlansim {
+
+Node::Node(Simulator* sim, Channel* channel, uint32_t id, const Config& config, Rng rng,
+           FlowStats* stats)
+    : sim_(sim), id_(id), stats_(stats) {
+  mobility_ = std::make_unique<ConstantPositionMobility>(config.position);
+
+  WifiPhy::Config phy_config;
+  phy_config.standard = config.standard;
+  phy_config.channel_number = config.channel;
+  if (config.phy_tweak) {
+    config.phy_tweak(phy_config);
+  }
+  phy_ = std::make_unique<WifiPhy>(sim, phy_config, rng.Fork("phy"));
+  phy_->AttachChannel(channel, id, mobility_.get());
+
+  WifiMac::Config mac_config;
+  mac_config.role = config.role;
+  mac_config.address = MacAddress::FromId(id + 1);
+  mac_config.ssid = config.ssid;
+  mac_config.scan_channels = {config.channel};
+  if (config.mac_tweak) {
+    config.mac_tweak(mac_config);
+  }
+  mac_ = std::make_unique<WifiMac>(sim, phy_.get(), mac_config, rng.Fork("mac"));
+  mac_->SetForwardUpCallback([this](Packet packet, MacAddress src, MacAddress dest) {
+    OnForwardUp(std::move(packet), src, dest);
+  });
+  mac_->SetTxDoneCallback([this] {
+    for (auto& app : apps_) {
+      app->OnTxOpportunity();
+    }
+  });
+}
+
+void Node::SetMobility(std::unique_ptr<MobilityModel> mobility) {
+  mobility_ = std::move(mobility);
+  phy_->SetMobility(mobility_.get());
+}
+
+void Node::SetRateController(std::unique_ptr<RateController> rate) {
+  rate_ = std::move(rate);
+  mac_->SetRateController(rate_.get());
+}
+
+void Node::OnForwardUp(Packet packet, MacAddress src, MacAddress dest) {
+  ++packets_received_;
+  bytes_received_ += packet.size();
+  if (stats_ != nullptr) {
+    stats_->RecordReceived(packet, sim_->Now());
+  }
+  if (rx_cb_) {
+    rx_cb_(packet, src, dest);
+  }
+}
+
+}  // namespace wlansim

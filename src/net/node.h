@@ -1,0 +1,88 @@
+// A simulated wireless node: mobility + PHY + MAC + rate controller +
+// applications, wired together.
+
+#ifndef WLANSIM_NET_NODE_H_
+#define WLANSIM_NET_NODE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/simulator.h"
+#include "mac/wifi_mac.h"
+#include "net/traffic.h"
+#include "phy/channel.h"
+#include "phy/mobility.h"
+#include "phy/wifi_phy.h"
+#include "rate/rate_controller.h"
+#include "stats/flow_stats.h"
+
+namespace wlansim {
+
+class Node {
+ public:
+  struct Config {
+    MacRole role = MacRole::kAdhoc;
+    PhyStandard standard = PhyStandard::k80211b;
+    std::string ssid = "wlansim";
+    Vector3 position{};
+    uint8_t channel = 1;
+    // Optional fine-tuning hooks applied after defaults are filled in.
+    std::function<void(WifiPhy::Config&)> phy_tweak;
+    std::function<void(WifiMac::Config&)> mac_tweak;
+  };
+
+  Node(Simulator* sim, Channel* channel, uint32_t id, const Config& config, Rng rng,
+       FlowStats* stats);
+
+  uint32_t id() const { return id_; }
+  MacAddress address() const { return mac_->address(); }
+  WifiPhy& phy() { return *phy_; }
+  WifiMac& mac() { return *mac_; }
+  MobilityModel* mobility() { return mobility_.get(); }
+  FlowStats* stats() { return stats_; }
+
+  // Replaces the mobility model (default: constant position from config).
+  void SetMobility(std::unique_ptr<MobilityModel> mobility);
+
+  // Installs a rate controller (owned by the node).
+  void SetRateController(std::unique_ptr<RateController> rate);
+  RateController* rate_controller() { return rate_.get(); }
+
+  // Adds a traffic source (owned). Start it via the returned pointer.
+  template <typename T, typename... Args>
+  T* AddTraffic(MacAddress dest, uint32_t flow_id, size_t payload_bytes, Args&&... args) {
+    auto app = std::make_unique<T>(sim_, mac_.get(), dest, flow_id, payload_bytes, stats_,
+                                   std::forward<Args>(args)...);
+    T* raw = app.get();
+    apps_.push_back(std::move(app));
+    return raw;
+  }
+
+  // Packets delivered to this node (sink role) are recorded in `stats`;
+  // an additional user callback can observe them.
+  using RxCallback = std::function<void(const Packet&, MacAddress src, MacAddress dest)>;
+  void SetRxCallback(RxCallback cb) { rx_cb_ = std::move(cb); }
+
+  uint64_t packets_received() const { return packets_received_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  void OnForwardUp(Packet packet, MacAddress src, MacAddress dest);
+
+  Simulator* sim_;
+  uint32_t id_;
+  FlowStats* stats_;
+  std::unique_ptr<MobilityModel> mobility_;
+  std::unique_ptr<WifiPhy> phy_;
+  std::unique_ptr<WifiMac> mac_;
+  std::unique_ptr<RateController> rate_;
+  std::vector<std::unique_ptr<TrafficGenerator>> apps_;
+  RxCallback rx_cb_;
+  uint64_t packets_received_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_NET_NODE_H_

@@ -1,0 +1,83 @@
+#include "net/traffic.h"
+
+namespace wlansim {
+
+void TrafficGenerator::SendOne() {
+  Packet packet(payload_bytes_);
+  packet.meta().flow_id = flow_id_;
+  packet.meta().app_seq = next_seq_++;
+  packet.meta().created = sim_->Now();
+  if (stats_ != nullptr) {
+    stats_->RecordSent(flow_id_, payload_bytes_, sim_->Now());
+  }
+  ++packets_sent_;
+  mac_->Enqueue(std::move(packet), dest_, priority_);
+}
+
+void CbrTraffic::Start(Time at) {
+  sim_->ScheduleAt(at, [this] { Tick(); });
+}
+
+void CbrTraffic::Tick() {
+  if (Stopped()) {
+    return;
+  }
+  SendOne();
+  sim_->Schedule(interval_, [this] { Tick(); });
+}
+
+void PoissonTraffic::Start(Time at) {
+  sim_->ScheduleAt(at, [this] { Tick(); });
+}
+
+void PoissonTraffic::Tick() {
+  if (Stopped()) {
+    return;
+  }
+  SendOne();
+  const Time gap = Time::Seconds(rng_.Exponential(mean_interval_.seconds()));
+  sim_->Schedule(gap, [this] { Tick(); });
+}
+
+void OnOffTraffic::Start(Time at) {
+  sim_->ScheduleAt(at, [this] { BeginOn(); });
+}
+
+void OnOffTraffic::BeginOn() {
+  if (Stopped()) {
+    return;
+  }
+  on_until_ = sim_->Now() + Time::Seconds(rng_.Exponential(mean_on_.seconds()));
+  Tick();
+}
+
+void OnOffTraffic::Tick() {
+  if (Stopped()) {
+    return;
+  }
+  if (sim_->Now() >= on_until_) {
+    const Time off = Time::Seconds(rng_.Exponential(mean_off_.seconds()));
+    sim_->Schedule(off, [this] { BeginOn(); });
+    return;
+  }
+  SendOne();
+  sim_->Schedule(packet_interval_, [this] { Tick(); });
+}
+
+void SaturatedTraffic::Start(Time at) {
+  sim_->ScheduleAt(at, [this] {
+    started_ = true;
+    TopUp();
+  });
+}
+
+void SaturatedTraffic::TopUp() {
+  if (!started_ || Stopped()) {
+    return;
+  }
+  while (mac_->QueueSizeForPriority(priority_) < queue_target_) {
+    SendOne();
+  }
+}
+
+}  // namespace wlansim

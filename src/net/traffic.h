@@ -1,0 +1,133 @@
+// Synthetic traffic generators, the workloads of every experiment:
+//   CbrTraffic       — constant bit rate (periodic packets)
+//   PoissonTraffic   — exponential inter-arrivals
+//   OnOffTraffic     — bursty: exponential ON/OFF phases, CBR while ON
+//   SaturatedTraffic — backlogged source keeping the MAC queue full
+//                      (the saturation-throughput workload)
+
+#ifndef WLANSIM_NET_TRAFFIC_H_
+#define WLANSIM_NET_TRAFFIC_H_
+
+#include <cstdint>
+
+#include "core/random.h"
+#include "core/simulator.h"
+#include "mac/wifi_mac.h"
+#include "stats/flow_stats.h"
+
+namespace wlansim {
+
+class TrafficGenerator {
+ public:
+  TrafficGenerator(Simulator* sim, WifiMac* mac, MacAddress dest, uint32_t flow_id,
+                   size_t payload_bytes, FlowStats* stats)
+      : sim_(sim),
+        mac_(mac),
+        dest_(dest),
+        flow_id_(flow_id),
+        payload_bytes_(payload_bytes),
+        stats_(stats) {}
+  virtual ~TrafficGenerator() = default;
+
+  virtual void Start(Time at) = 0;
+  void StopAt(Time at) { stop_at_ = at; }
+
+  // Called by the node whenever the MAC finishes a transmit sequence
+  // (used by SaturatedTraffic to top the queue back up).
+  virtual void OnTxOpportunity() {}
+
+  // Sets the 802.1D user priority stamped on generated packets (EDCA class).
+  void SetPriority(uint8_t priority) { priority_ = priority; }
+
+  uint32_t flow_id() const { return flow_id_; }
+  uint64_t packets_sent() const { return packets_sent_; }
+
+ protected:
+  bool Stopped() const { return sim_->Now() >= stop_at_; }
+
+  // Builds and enqueues one packet; records it in the flow stats.
+  void SendOne();
+
+  Simulator* sim_;
+  WifiMac* mac_;
+  MacAddress dest_;
+  uint32_t flow_id_;
+  size_t payload_bytes_;
+  FlowStats* stats_;
+  Time stop_at_ = Time::Max();
+  uint8_t priority_ = 0;
+  uint32_t next_seq_ = 0;
+  uint64_t packets_sent_ = 0;
+};
+
+class CbrTraffic final : public TrafficGenerator {
+ public:
+  CbrTraffic(Simulator* sim, WifiMac* mac, MacAddress dest, uint32_t flow_id,
+             size_t payload_bytes, FlowStats* stats, Time interval)
+      : TrafficGenerator(sim, mac, dest, flow_id, payload_bytes, stats), interval_(interval) {}
+
+  void Start(Time at) override;
+
+ private:
+  void Tick();
+  Time interval_;
+};
+
+class PoissonTraffic final : public TrafficGenerator {
+ public:
+  PoissonTraffic(Simulator* sim, WifiMac* mac, MacAddress dest, uint32_t flow_id,
+                 size_t payload_bytes, FlowStats* stats, double packets_per_second, Rng rng)
+      : TrafficGenerator(sim, mac, dest, flow_id, payload_bytes, stats),
+        mean_interval_(Time::Seconds(1.0 / packets_per_second)),
+        rng_(rng) {}
+
+  void Start(Time at) override;
+
+ private:
+  void Tick();
+  Time mean_interval_;
+  Rng rng_;
+};
+
+class OnOffTraffic final : public TrafficGenerator {
+ public:
+  OnOffTraffic(Simulator* sim, WifiMac* mac, MacAddress dest, uint32_t flow_id,
+               size_t payload_bytes, FlowStats* stats, Time packet_interval, Time mean_on,
+               Time mean_off, Rng rng)
+      : TrafficGenerator(sim, mac, dest, flow_id, payload_bytes, stats),
+        packet_interval_(packet_interval),
+        mean_on_(mean_on),
+        mean_off_(mean_off),
+        rng_(rng) {}
+
+  void Start(Time at) override;
+
+ private:
+  void BeginOn();
+  void Tick();
+  Time packet_interval_;
+  Time mean_on_;
+  Time mean_off_;
+  Time on_until_;
+  Rng rng_;
+};
+
+class SaturatedTraffic final : public TrafficGenerator {
+ public:
+  SaturatedTraffic(Simulator* sim, WifiMac* mac, MacAddress dest, uint32_t flow_id,
+                   size_t payload_bytes, FlowStats* stats, size_t queue_target = 4)
+      : TrafficGenerator(sim, mac, dest, flow_id, payload_bytes, stats),
+        queue_target_(queue_target) {}
+
+  void Start(Time at) override;
+  void OnTxOpportunity() override { TopUp(); }
+
+ private:
+  void TopUp();
+  size_t queue_target_;
+  bool started_ = false;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_NET_TRAFFIC_H_

@@ -1,0 +1,47 @@
+#include "phy/channel.h"
+
+#include <cassert>
+
+#include "core/units.h"
+#include "phy/propagation.h"
+#include "phy/wifi_phy.h"
+
+namespace wlansim {
+
+Channel::Channel(Simulator* sim, std::unique_ptr<PropagationLossModel> loss, Rng rng)
+    : sim_(sim), loss_(std::move(loss)), rng_(rng) {}
+
+void Channel::Attach(WifiPhy* phy) {
+  phys_.push_back(phy);
+}
+
+void Channel::Send(WifiPhy* sender, const Packet& packet, const WifiMode& mode,
+                   bool short_preamble) {
+  const Time now = sim_->Now();
+  const Vector3 tx_pos = sender->mobility()->PositionAt(now);
+  const double frequency = sender->timing().frequency_hz;
+
+  for (WifiPhy* rx : phys_) {
+    if (rx == sender || rx->channel_number() != sender->channel_number()) {
+      continue;
+    }
+    const Vector3 rx_pos = rx->mobility()->PositionAt(now);
+    const uint64_t link_id = MatrixLossModel::MakeLinkId(sender->node_id(), rx->node_id());
+    double rx_dbm =
+        loss_->RxPowerDbm(sender->config().tx_power_dbm, tx_pos, rx_pos, frequency, link_id);
+    if (fading_ != nullptr) {
+      rx_dbm += RatioToDb(fading_->SampleGain(rng_));
+    }
+    const Time delay = delay_model_.Delay(tx_pos, rx_pos);
+
+    // Copy by value: each receiver owns an independent packet instance.
+    Packet copy = packet;
+    const bool decodable = !sender->config().transmissions_undecodable;
+    sim_->Schedule(delay,
+                   [rx, copy = std::move(copy), mode, short_preamble, rx_dbm, decodable]() mutable {
+                     rx->StartRx(std::move(copy), mode, short_preamble, rx_dbm, decodable);
+                   });
+  }
+}
+
+}  // namespace wlansim

@@ -1,0 +1,51 @@
+// The shared radio medium.
+//
+// Connects every attached PHY; on each transmission it computes, per
+// receiver, the propagation delay and received power (path loss model plus
+// an optional per-frame fading draw) and schedules the arrival. PHYs tuned
+// to different channel numbers do not hear each other (adjacent-channel
+// leakage is out of scope).
+
+#ifndef WLANSIM_PHY_CHANNEL_H_
+#define WLANSIM_PHY_CHANNEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/packet.h"
+#include "core/random.h"
+#include "core/simulator.h"
+#include "phy/fading.h"
+#include "phy/propagation.h"
+#include "phy/wifi_mode.h"
+
+namespace wlansim {
+
+class WifiPhy;
+
+class Channel {
+ public:
+  Channel(Simulator* sim, std::unique_ptr<PropagationLossModel> loss, Rng rng);
+
+  // Optional per-frame fading (applied on top of the loss model).
+  void SetFading(std::unique_ptr<FadingModel> fading) { fading_ = std::move(fading); }
+
+  void Attach(WifiPhy* phy);
+
+  // Broadcasts `packet` from `sender`. Called by WifiPhy::StartTx.
+  void Send(WifiPhy* sender, const Packet& packet, const WifiMode& mode, bool short_preamble);
+
+  PropagationLossModel& loss_model() { return *loss_; }
+
+ private:
+  Simulator* sim_;
+  std::unique_ptr<PropagationLossModel> loss_;
+  std::unique_ptr<FadingModel> fading_;
+  ConstantSpeedDelayModel delay_model_;
+  Rng rng_;
+  std::vector<WifiPhy*> phys_;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_PHY_CHANNEL_H_

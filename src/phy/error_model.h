@@ -1,0 +1,47 @@
+// SINR → bit/packet error rate models.
+//
+// DSSS modes use classic non-coherent/differential detection formulas with
+// the 11-chip Barker (1, 2 Mb/s) and CCK (5.5, 11 Mb/s) processing gains
+// expressed through the Eb/N0 conversion Eb/N0 = SINR * (B / R).
+//
+// OFDM modes use coherent M-QAM bit-error formulas combined with the union
+// bound over the IEEE 802.11 K=7 (133,171) convolutional code's distance
+// spectrum (Haccoun & Bégin weights for the punctured rates) — the same
+// construction as the widely used NIST error model.
+
+#ifndef WLANSIM_PHY_ERROR_MODEL_H_
+#define WLANSIM_PHY_ERROR_MODEL_H_
+
+#include <cstdint>
+
+#include "phy/wifi_mode.h"
+
+namespace wlansim {
+
+class ErrorRateModel {
+ public:
+  virtual ~ErrorRateModel() = default;
+
+  // Probability that `bits` payload bits at linear SINR `sinr` are all
+  // received correctly.
+  virtual double ChunkSuccessProbability(const WifiMode& mode, double sinr,
+                                         uint64_t bits) const = 0;
+};
+
+class DefaultErrorRateModel final : public ErrorRateModel {
+ public:
+  double ChunkSuccessProbability(const WifiMode& mode, double sinr, uint64_t bits) const override;
+
+  // Exposed for tests/calibration: raw (uncoded) BER for a mode at `sinr`.
+  static double RawBer(const WifiMode& mode, double sinr);
+
+  // Coded BER after the convolutional union bound (OFDM modes only).
+  static double CodedBer(const WifiMode& mode, double sinr);
+};
+
+// Utility: Gaussian tail function Q(x).
+double QFunction(double x);
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_PHY_ERROR_MODEL_H_

@@ -1,0 +1,42 @@
+#include "phy/fading.h"
+
+#include <cmath>
+
+namespace wlansim {
+namespace {
+
+// Marsaglia-Tsang gamma sampling for shape >= 1; shape < 1 uses the boost
+// trick G(a) = G(a+1) * U^(1/a).
+double SampleGamma(Rng& rng, double shape) {
+  if (shape < 1.0) {
+    const double u = rng.NextDouble();
+    return SampleGamma(rng, shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = rng.Normal(0.0, 1.0);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) {
+      return d * v;
+    }
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+}  // namespace
+
+double NakagamiFading::SampleGain(Rng& rng) {
+  // Gamma(shape=m, scale=1/m) has mean 1.
+  return SampleGamma(rng, m_) / m_;
+}
+
+}  // namespace wlansim

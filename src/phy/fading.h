@@ -1,0 +1,46 @@
+// Small-scale fading models, applied as a per-frame power gain (block
+// fading): each frame sees one i.i.d. channel realization, the standard
+// fidelity level for MAC-layer simulation of rate-adaptation behaviour.
+
+#ifndef WLANSIM_PHY_FADING_H_
+#define WLANSIM_PHY_FADING_H_
+
+#include <memory>
+
+#include "core/random.h"
+
+namespace wlansim {
+
+class FadingModel {
+ public:
+  virtual ~FadingModel() = default;
+
+  // Multiplicative power gain (linear, mean 1) for one frame on one link.
+  virtual double SampleGain(Rng& rng) = 0;
+};
+
+class NoFading final : public FadingModel {
+ public:
+  double SampleGain(Rng&) override { return 1.0; }
+};
+
+// Rayleigh fading: power gain ~ Exponential(1).
+class RayleighFading final : public FadingModel {
+ public:
+  double SampleGain(Rng& rng) override { return rng.Exponential(1.0); }
+};
+
+// Nakagami-m fading: power gain ~ Gamma(m, 1/m) (mean 1). m = 1 is Rayleigh;
+// larger m approaches no fading; m < 1 is more severe.
+class NakagamiFading final : public FadingModel {
+ public:
+  explicit NakagamiFading(double m) : m_(m) {}
+  double SampleGain(Rng& rng) override;
+
+ private:
+  double m_;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_PHY_FADING_H_

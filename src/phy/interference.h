@@ -1,0 +1,83 @@
+// Per-receiver interference bookkeeping.
+//
+// Every signal arriving at a PHY (decodable or not) is recorded as a
+// rectangular power pulse. For a candidate reception the tracker slices the
+// frame at every interference change point, computes the SINR of each chunk,
+// and multiplies per-chunk success probabilities — the additive-interference
+// model with coherent chunking used by ns-3's InterferenceHelper.
+
+#ifndef WLANSIM_PHY_INTERFERENCE_H_
+#define WLANSIM_PHY_INTERFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time.h"
+#include "phy/error_model.h"
+#include "phy/wifi_mode.h"
+
+namespace wlansim {
+
+class InterferenceTracker {
+ public:
+  // Records an arriving signal [start, end) with received power `power_w`.
+  // Returns an id usable to exclude the signal from its own interference.
+  uint64_t AddSignal(Time start, Time end, double power_w);
+
+  // Sum of all signal powers overlapping instant `t` (CCA energy detection).
+  double TotalPowerW(Time t) const;
+
+  // First instant >= t at which total power drops below `threshold_w`
+  // considering only currently known signals.
+  Time TimeWhenPowerBelow(Time t, double threshold_w) const;
+
+  // Success probability of receiving signal `signal_id` given all other
+  // recorded signals as interference plus `noise_w`:
+  //   [start, payload_start): PLCP header chunk at `header_mode`
+  //   [payload_start, end):   payload chunk at `payload_mode`
+  struct ReceptionPlan {
+    uint64_t signal_id;
+    Time start;
+    Time payload_start;
+    Time end;
+    WifiMode header_mode;
+    WifiMode payload_mode;
+    uint64_t header_bits;
+    uint64_t payload_bits;
+    double noise_w;
+  };
+  double SuccessProbability(const ReceptionPlan& plan, const ErrorRateModel& error_model) const;
+
+  // SINR (linear) of signal `signal_id` over its payload window — the value
+  // a driver would report as "signal quality". Averaged over chunks weighted
+  // by duration.
+  double MeanSinr(const ReceptionPlan& plan) const;
+
+  // Drops signals that ended before `before` (call periodically).
+  void Cleanup(Time before);
+
+  size_t ActiveSignalCount() const { return signals_.size(); }
+
+ private:
+  struct Signal {
+    uint64_t id;
+    Time start;
+    Time end;
+    double power_w;
+  };
+
+  // Interference power from all signals other than `exclude_id` overlapping
+  // instant `t`.
+  double InterferenceAt(Time t, uint64_t exclude_id) const;
+
+  // Change points of other signals within [from, to), sorted, including the
+  // endpoints.
+  std::vector<Time> ChangePoints(Time from, Time to, uint64_t exclude_id) const;
+
+  std::vector<Signal> signals_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_PHY_INTERFERENCE_H_

@@ -1,0 +1,118 @@
+// Node mobility models. The channel queries positions at transmission time,
+// so movement continuously affects path loss without per-step events.
+
+#ifndef WLANSIM_PHY_MOBILITY_H_
+#define WLANSIM_PHY_MOBILITY_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/random.h"
+#include "core/time.h"
+#include "core/vector3.h"
+
+namespace wlansim {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  virtual Vector3 PositionAt(Time now) = 0;
+};
+
+class ConstantPositionMobility final : public MobilityModel {
+ public:
+  explicit ConstantPositionMobility(Vector3 position) : position_(position) {}
+  Vector3 PositionAt(Time) override { return position_; }
+  void SetPosition(Vector3 position) { position_ = position; }
+
+ private:
+  Vector3 position_;
+};
+
+// Straight-line motion from `start` at `velocity` (m/s) beginning at t=0.
+class ConstantVelocityMobility final : public MobilityModel {
+ public:
+  ConstantVelocityMobility(Vector3 start, Vector3 velocity) : start_(start), velocity_(velocity) {}
+
+  Vector3 PositionAt(Time now) override { return start_ + velocity_ * now.seconds(); }
+
+ private:
+  Vector3 start_;
+  Vector3 velocity_;
+};
+
+// Random waypoint inside an axis-aligned rectangle [0,w]×[0,h] at z=0:
+// pick a destination uniformly, travel at a uniform random speed, pause,
+// repeat. Legs are generated lazily and deterministically from the rng.
+class RandomWaypointMobility final : public MobilityModel {
+ public:
+  RandomWaypointMobility(double width, double height, double min_speed, double max_speed,
+                         Time pause, Rng rng)
+      : width_(width),
+        height_(height),
+        min_speed_(min_speed),
+        max_speed_(max_speed),
+        pause_(pause),
+        rng_(rng) {
+    legs_.push_back(Leg{Time::Zero(), Time::Zero(), RandomPoint(), RandomPoint()});
+    FinishLeg(legs_.back());
+  }
+
+  Vector3 PositionAt(Time now) override {
+    while (legs_.back().arrive + pause_ < now) {
+      Leg next;
+      next.depart = legs_.back().arrive + pause_;
+      next.from = legs_.back().to;
+      next.to = RandomPoint();
+      FinishLeg(next);
+      legs_.push_back(next);
+    }
+    // Binary search the containing leg.
+    size_t lo = 0;
+    size_t hi = legs_.size();
+    while (lo + 1 < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (legs_[mid].depart <= now) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    const Leg& leg = legs_[lo];
+    if (now >= leg.arrive) {
+      return leg.to;  // pausing
+    }
+    const double f = (now - leg.depart) / (leg.arrive - leg.depart);
+    return leg.from + (leg.to - leg.from) * f;
+  }
+
+ private:
+  struct Leg {
+    Time depart;
+    Time arrive;
+    Vector3 from;
+    Vector3 to;
+  };
+
+  Vector3 RandomPoint() {
+    return Vector3{rng_.Uniform(0.0, width_), rng_.Uniform(0.0, height_), 0.0};
+  }
+
+  void FinishLeg(Leg& leg) {
+    const double speed = rng_.Uniform(min_speed_, max_speed_);
+    const double distance = leg.from.DistanceTo(leg.to);
+    leg.arrive = leg.depart + Time::Seconds(distance / std::max(speed, 0.01));
+  }
+
+  double width_;
+  double height_;
+  double min_speed_;
+  double max_speed_;
+  Time pause_;
+  Rng rng_;
+  std::vector<Leg> legs_;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_PHY_MOBILITY_H_

@@ -1,0 +1,60 @@
+#include "phy/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wlansim {
+namespace {
+
+constexpr double kSpeedOfLight = 299'792'458.0;
+
+// Free-space path loss in dB at distance d (>= some minimum) and frequency f.
+double FriisLossDb(double distance_m, double frequency_hz) {
+  const double lambda = kSpeedOfLight / frequency_hz;
+  return 20.0 * std::log10(4.0 * std::numbers::pi * distance_m / lambda);
+}
+
+}  // namespace
+
+double FreeSpaceLossModel::RxPowerDbm(double tx_power_dbm, const Vector3& tx_pos,
+                                      const Vector3& rx_pos, double frequency_hz,
+                                      uint64_t /*link_id*/) {
+  const double d = std::max(tx_pos.DistanceTo(rx_pos), 1.0);
+  return tx_power_dbm - FriisLossDb(d, frequency_hz);
+}
+
+LogDistanceLossModel::LogDistanceLossModel(double exponent, double shadowing_sigma_db,
+                                           uint64_t shadowing_seed)
+    : exponent_(exponent), sigma_db_(shadowing_sigma_db), rng_(shadowing_seed) {}
+
+double LogDistanceLossModel::RxPowerDbm(double tx_power_dbm, const Vector3& tx_pos,
+                                        const Vector3& rx_pos, double frequency_hz,
+                                        uint64_t link_id) {
+  constexpr double kRefDistance = 1.0;
+  const double d = std::max(tx_pos.DistanceTo(rx_pos), kRefDistance);
+  double loss = FriisLossDb(kRefDistance, frequency_hz) +
+                10.0 * exponent_ * std::log10(d / kRefDistance);
+  if (sigma_db_ > 0.0) {
+    auto [it, inserted] = link_shadowing_db_.try_emplace(link_id, 0.0);
+    if (inserted) {
+      it->second = rng_.Normal(0.0, sigma_db_);
+    }
+    loss += it->second;
+  }
+  return tx_power_dbm - loss;
+}
+
+void MatrixLossModel::SetLoss(uint32_t node_a, uint32_t node_b, double loss_db) {
+  loss_db_[MakeLinkId(node_a, node_b)] = loss_db;
+  loss_db_[MakeLinkId(node_b, node_a)] = loss_db;
+}
+
+double MatrixLossModel::RxPowerDbm(double tx_power_dbm, const Vector3& /*tx_pos*/,
+                                   const Vector3& /*rx_pos*/, double /*frequency_hz*/,
+                                   uint64_t link_id) {
+  auto it = loss_db_.find(link_id);
+  const double loss = it == loss_db_.end() ? default_loss_db_ : it->second;
+  return tx_power_dbm - loss;
+}
+
+}  // namespace wlansim

@@ -1,0 +1,96 @@
+// Propagation loss and delay models.
+//
+// Loss models map (tx position, rx position, carrier frequency) to received
+// power. They may be chained (e.g. log-distance + shadowing).
+
+#ifndef WLANSIM_PHY_PROPAGATION_H_
+#define WLANSIM_PHY_PROPAGATION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "core/random.h"
+#include "core/time.h"
+#include "core/vector3.h"
+
+namespace wlansim {
+
+class PropagationLossModel {
+ public:
+  virtual ~PropagationLossModel() = default;
+
+  // Received power in dBm for a transmission at `tx_power_dbm`.
+  // `link_id` identifies the (tx, rx) pair for models with per-link state
+  // (shadowing); pass the same id for the same ordered pair.
+  virtual double RxPowerDbm(double tx_power_dbm, const Vector3& tx_pos, const Vector3& rx_pos,
+                            double frequency_hz, uint64_t link_id) = 0;
+};
+
+// Friis free-space: Pr = Pt + 20log10(c / (4 pi f d)). Below 1 m the model
+// clamps to the 1 m loss (near field).
+class FreeSpaceLossModel final : public PropagationLossModel {
+ public:
+  double RxPowerDbm(double tx_power_dbm, const Vector3& tx_pos, const Vector3& rx_pos,
+                    double frequency_hz, uint64_t link_id) override;
+};
+
+// Log-distance: PL(d) = PL(d0) + 10 n log10(d/d0), PL(d0) from Friis at the
+// reference distance, with optional log-normal shadowing (one static draw
+// per link, the standard "quasi-static" model).
+class LogDistanceLossModel final : public PropagationLossModel {
+ public:
+  explicit LogDistanceLossModel(double exponent, double shadowing_sigma_db = 0.0,
+                                uint64_t shadowing_seed = 1);
+
+  double RxPowerDbm(double tx_power_dbm, const Vector3& tx_pos, const Vector3& rx_pos,
+                    double frequency_hz, uint64_t link_id) override;
+
+ private:
+  double exponent_;
+  double sigma_db_;
+  Rng rng_;
+  std::map<uint64_t, double> link_shadowing_db_;
+};
+
+// Explicit per-link loss in dB; unlisted links get `default_loss_db`. The
+// tool for constructing exact hidden-terminal topologies.
+class MatrixLossModel final : public PropagationLossModel {
+ public:
+  explicit MatrixLossModel(double default_loss_db = 200.0) : default_loss_db_(default_loss_db) {}
+
+  // Symmetric: sets loss for (a, b) and (b, a). Node ids are the caller's
+  // (net-layer) ids, combined into link ids via MakeLinkId.
+  void SetLoss(uint32_t node_a, uint32_t node_b, double loss_db);
+
+  static uint64_t MakeLinkId(uint32_t tx_node, uint32_t rx_node) {
+    return (static_cast<uint64_t>(tx_node) << 32) | rx_node;
+  }
+
+  double RxPowerDbm(double tx_power_dbm, const Vector3& tx_pos, const Vector3& rx_pos,
+                    double frequency_hz, uint64_t link_id) override;
+
+ private:
+  double default_loss_db_;
+  std::map<uint64_t, double> loss_db_;
+};
+
+class PropagationDelayModel {
+ public:
+  virtual ~PropagationDelayModel() = default;
+  virtual Time Delay(const Vector3& a, const Vector3& b) = 0;
+};
+
+// Speed-of-light delay.
+class ConstantSpeedDelayModel final : public PropagationDelayModel {
+ public:
+  Time Delay(const Vector3& a, const Vector3& b) override {
+    constexpr double kC = 299'792'458.0;
+    return Time::Seconds(a.DistanceTo(b) / kC);
+  }
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_PHY_PROPAGATION_H_

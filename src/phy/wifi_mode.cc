@@ -1,0 +1,170 @@
+#include "phy/wifi_mode.h"
+
+#include <array>
+#include <cassert>
+
+namespace wlansim {
+namespace {
+
+constexpr std::array<WifiMode, 2> kDsssModes = {{
+    {"DSSS-1", PhyStandard::k80211, Modulation::kDbpsk, CodeRate::kNone, 1'000'000},
+    {"DSSS-2", PhyStandard::k80211, Modulation::kDqpsk, CodeRate::kNone, 2'000'000},
+}};
+
+constexpr std::array<WifiMode, 4> kHrDsssModes = {{
+    {"DSSS-1", PhyStandard::k80211b, Modulation::kDbpsk, CodeRate::kNone, 1'000'000},
+    {"DSSS-2", PhyStandard::k80211b, Modulation::kDqpsk, CodeRate::kNone, 2'000'000},
+    {"CCK-5.5", PhyStandard::k80211b, Modulation::kCck5_5, CodeRate::kNone, 5'500'000},
+    {"CCK-11", PhyStandard::k80211b, Modulation::kCck11, CodeRate::kNone, 11'000'000},
+}};
+
+constexpr std::array<WifiMode, 8> kOfdmModes = {{
+    {"OFDM-6", PhyStandard::k80211a, Modulation::kBpsk, CodeRate::kHalf, 6'000'000},
+    {"OFDM-9", PhyStandard::k80211a, Modulation::kBpsk, CodeRate::kThreeQuarters, 9'000'000},
+    {"OFDM-12", PhyStandard::k80211a, Modulation::kQpsk, CodeRate::kHalf, 12'000'000},
+    {"OFDM-18", PhyStandard::k80211a, Modulation::kQpsk, CodeRate::kThreeQuarters, 18'000'000},
+    {"OFDM-24", PhyStandard::k80211a, Modulation::kQam16, CodeRate::kHalf, 24'000'000},
+    {"OFDM-36", PhyStandard::k80211a, Modulation::kQam16, CodeRate::kThreeQuarters, 36'000'000},
+    {"OFDM-48", PhyStandard::k80211a, Modulation::kQam64, CodeRate::kTwoThirds, 48'000'000},
+    {"OFDM-54", PhyStandard::k80211a, Modulation::kQam64, CodeRate::kThreeQuarters, 54'000'000},
+}};
+
+constexpr std::array<WifiMode, 8> kErpOfdmModes = {{
+    {"ERP-6", PhyStandard::k80211g, Modulation::kBpsk, CodeRate::kHalf, 6'000'000},
+    {"ERP-9", PhyStandard::k80211g, Modulation::kBpsk, CodeRate::kThreeQuarters, 9'000'000},
+    {"ERP-12", PhyStandard::k80211g, Modulation::kQpsk, CodeRate::kHalf, 12'000'000},
+    {"ERP-18", PhyStandard::k80211g, Modulation::kQpsk, CodeRate::kThreeQuarters, 18'000'000},
+    {"ERP-24", PhyStandard::k80211g, Modulation::kQam16, CodeRate::kHalf, 24'000'000},
+    {"ERP-36", PhyStandard::k80211g, Modulation::kQam16, CodeRate::kThreeQuarters, 36'000'000},
+    {"ERP-48", PhyStandard::k80211g, Modulation::kQam64, CodeRate::kTwoThirds, 48'000'000},
+    {"ERP-54", PhyStandard::k80211g, Modulation::kQam64, CodeRate::kThreeQuarters, 54'000'000},
+}};
+
+}  // namespace
+
+std::string ToString(PhyStandard standard) {
+  switch (standard) {
+    case PhyStandard::k80211:
+      return "802.11";
+    case PhyStandard::k80211b:
+      return "802.11b";
+    case PhyStandard::k80211a:
+      return "802.11a";
+    case PhyStandard::k80211g:
+      return "802.11g";
+  }
+  return "?";
+}
+
+PhyTiming TimingFor(PhyStandard standard, bool protection_active) {
+  switch (standard) {
+    case PhyStandard::k80211:
+    case PhyStandard::k80211b:
+      return PhyTiming{.slot = Time::Micros(20),
+                       .sifs = Time::Micros(10),
+                       .cw_min = 31,
+                       .cw_max = 1023,
+                       .channel_width_hz = 22e6,
+                       .frequency_hz = 2.412e9,
+                       .max_propagation_delay = Time::Micros(1)};
+    case PhyStandard::k80211a:
+      return PhyTiming{.slot = Time::Micros(9),
+                       .sifs = Time::Micros(16),
+                       .cw_min = 15,
+                       .cw_max = 1023,
+                       .channel_width_hz = 20e6,
+                       .frequency_hz = 5.18e9,
+                       .max_propagation_delay = Time::Micros(1)};
+    case PhyStandard::k80211g:
+      if (protection_active) {
+        // ERP STA in a BSS with non-ERP members: long slot, b-era CWmin.
+        return PhyTiming{.slot = Time::Micros(20),
+                         .sifs = Time::Micros(10),
+                         .cw_min = 31,
+                         .cw_max = 1023,
+                         .channel_width_hz = 20e6,
+                         .frequency_hz = 2.412e9,
+                         .max_propagation_delay = Time::Micros(1)};
+      }
+      return PhyTiming{.slot = Time::Micros(9),
+                       .sifs = Time::Micros(10),
+                       .cw_min = 15,
+                       .cw_max = 1023,
+                       .channel_width_hz = 20e6,
+                       .frequency_hz = 2.412e9,
+                       .max_propagation_delay = Time::Micros(1)};
+  }
+  return {};
+}
+
+std::span<const WifiMode> ModesFor(PhyStandard standard) {
+  switch (standard) {
+    case PhyStandard::k80211:
+      return kDsssModes;
+    case PhyStandard::k80211b:
+      return kHrDsssModes;
+    case PhyStandard::k80211a:
+      return kOfdmModes;
+    case PhyStandard::k80211g:
+      return kErpOfdmModes;
+  }
+  return {};
+}
+
+const WifiMode& BaseModeFor(PhyStandard standard) {
+  return ModesFor(standard).front();
+}
+
+const WifiMode& ControlResponseMode(const WifiMode& mode) {
+  // Mandatory basic-rate sets: DSSS {1, 2}; OFDM {6, 12, 24}.
+  const auto candidates = ModesFor(mode.standard);
+  const WifiMode* best = &candidates.front();
+  for (const WifiMode& candidate : candidates) {
+    const bool mandatory = candidate.IsOfdm()
+                               ? (candidate.bit_rate_bps == 6'000'000 ||
+                                  candidate.bit_rate_bps == 12'000'000 ||
+                                  candidate.bit_rate_bps == 24'000'000)
+                               : (candidate.bit_rate_bps == 1'000'000 ||
+                                  candidate.bit_rate_bps == 2'000'000);
+    if (mandatory && candidate.bit_rate_bps <= mode.bit_rate_bps) {
+      best = &candidate;
+    }
+  }
+  return *best;
+}
+
+Time PayloadDuration(const WifiMode& mode, size_t bytes) {
+  if (mode.IsOfdm()) {
+    // 16 SERVICE bits + payload + 6 tail bits, in 4 us symbols.
+    const uint64_t data_bits = 16 + 8 * static_cast<uint64_t>(bytes) + 6;
+    const uint64_t bits_per_symbol = mode.bit_rate_bps * 4 / 1'000'000;  // rate × 4 us
+    const uint64_t symbols = (data_bits + bits_per_symbol - 1) / bits_per_symbol;
+    return Time::Micros(static_cast<int64_t>(4 * symbols));
+  }
+  // DSSS: bits at the data rate, exact in picoseconds.
+  const uint64_t bits = 8 * static_cast<uint64_t>(bytes);
+  // ps per bit = 1e12 / rate; compute bits * 1e12 / rate without overflow for
+  // realistic sizes (bits < 2^20, 1e12 fits in 64-bit headroom via __int128).
+  const auto ps = static_cast<int64_t>((static_cast<__int128>(bits) * 1'000'000'000'000LL) /
+                                       mode.bit_rate_bps);
+  return Time::Picos(ps);
+}
+
+Time FrameDuration(const WifiMode& mode, size_t bytes, bool short_preamble) {
+  if (mode.IsOfdm()) {
+    // Preamble 16 us + SIGNAL 4 us (+ 6 us signal extension for ERP-OFDM).
+    Time duration = Time::Micros(20) + PayloadDuration(mode, bytes);
+    if (mode.standard == PhyStandard::k80211g) {
+      duration += Time::Micros(6);
+    }
+    return duration;
+  }
+  // DSSS long preamble: 144 us sync+SFD + 48 us PLCP header (both at 1 Mb/s).
+  // Short preamble: 72 us + 24 us (header at 2 Mb/s). 1 Mb/s frames must use
+  // the long preamble.
+  const bool use_short = short_preamble && mode.bit_rate_bps > 1'000'000;
+  const Time plcp = use_short ? Time::Micros(96) : Time::Micros(192);
+  return plcp + PayloadDuration(mode, bytes);
+}
+
+}  // namespace wlansim

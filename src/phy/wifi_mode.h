@@ -1,0 +1,100 @@
+// Transmission modes for 802.11 / 802.11b / 802.11a / 802.11g and the PLCP
+// timing arithmetic that converts (mode, frame length) into on-air duration.
+//
+// Durations follow the standard exactly:
+//  * DSSS/HR-DSSS (11, 11b): long preamble 144 us + PLCP header 48 us, both
+//    at 1 Mb/s (short preamble: 72 us + 24 us with the header at 2 Mb/s);
+//    payload bits at the data rate.
+//  * OFDM (11a): 16 us preamble + 4 us SIGNAL + 4 us symbols covering
+//    16 SERVICE bits + 8*length + 6 tail bits.
+//  * ERP-OFDM (11g): as OFDM plus the 6 us signal extension.
+
+#ifndef WLANSIM_PHY_WIFI_MODE_H_
+#define WLANSIM_PHY_WIFI_MODE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/time.h"
+
+namespace wlansim {
+
+enum class PhyStandard : uint8_t {
+  k80211,    // original DSSS/FHSS 1-2 Mb/s (we model the DSSS PHY)
+  k80211b,   // HR-DSSS up to 11 Mb/s, 2.4 GHz
+  k80211a,   // OFDM up to 54 Mb/s, 5 GHz
+  k80211g,   // ERP-OFDM up to 54 Mb/s, 2.4 GHz (b-compatible)
+};
+
+std::string ToString(PhyStandard standard);
+
+enum class Modulation : uint8_t {
+  kDbpsk,   // DSSS 1 Mb/s
+  kDqpsk,   // DSSS 2 Mb/s
+  kCck5_5,  // HR-DSSS 5.5 Mb/s
+  kCck11,   // HR-DSSS 11 Mb/s
+  kBpsk,    // OFDM
+  kQpsk,    // OFDM
+  kQam16,   // OFDM
+  kQam64,   // OFDM
+};
+
+// Convolutional-code rate for OFDM modes; kNone for DSSS.
+enum class CodeRate : uint8_t { kNone, kHalf, kTwoThirds, kThreeQuarters };
+
+struct WifiMode {
+  const char* name;
+  PhyStandard standard;
+  Modulation modulation;
+  CodeRate code_rate;
+  uint32_t bit_rate_bps;  // MAC-visible data rate
+
+  bool IsOfdm() const {
+    return modulation == Modulation::kBpsk || modulation == Modulation::kQpsk ||
+           modulation == Modulation::kQam16 || modulation == Modulation::kQam64;
+  }
+
+  bool operator==(const WifiMode& other) const { return bit_rate_bps == other.bit_rate_bps &&
+                                                        standard == other.standard; }
+};
+
+// Channel/PHY-level constants for a standard.
+struct PhyTiming {
+  Time slot;
+  Time sifs;
+  uint32_t cw_min;
+  uint32_t cw_max;
+  double channel_width_hz;   // noise bandwidth
+  double frequency_hz;       // carrier, for Friis
+  Time max_propagation_delay;  // aCCATime guard baked into the slot; informational
+
+  Time Difs() const { return sifs + 2 * slot; }
+  // EIFS (no ACK info): SIFS + ACK at lowest mandatory rate + DIFS.
+  Time Eifs(Time ack_duration) const { return sifs + ack_duration + Difs(); }
+};
+
+// Returns the timing constants of a standard. For 802.11g, `protection_active`
+// selects the b-compatible long slot (20 us) over the short slot (9 us).
+PhyTiming TimingFor(PhyStandard standard, bool protection_active = false);
+
+// All modes of a standard, slowest first. 802.11g returns the ERP-OFDM set
+// (6..54); its DSSS compatibility rates are available via ModesFor(k80211b).
+std::span<const WifiMode> ModesFor(PhyStandard standard);
+
+// The mandatory lowest mode, used for control responses and beacons.
+const WifiMode& BaseModeFor(PhyStandard standard);
+
+// The mode control frames (CTS/ACK) answering a frame sent at `mode` must
+// use: the highest mandatory rate not exceeding the eliciting frame's rate.
+const WifiMode& ControlResponseMode(const WifiMode& mode);
+
+// On-air duration of `bytes` transmitted at `mode`, including preamble/PLCP.
+Time FrameDuration(const WifiMode& mode, size_t bytes, bool short_preamble = false);
+
+// Payload-only duration (no preamble), used for NAV arithmetic tests.
+Time PayloadDuration(const WifiMode& mode, size_t bytes);
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_PHY_WIFI_MODE_H_

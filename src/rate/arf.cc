@@ -1,0 +1,83 @@
+#include "rate/arf.h"
+
+#include <algorithm>
+
+namespace wlansim {
+
+ArfController::ArfController(PhyStandard standard, Options options) : options_(options) {
+  const auto modes = ModesFor(standard);
+  modes_.assign(modes.begin(), modes.end());
+}
+
+ArfController::State& ArfController::StateFor(const MacAddress& dest) {
+  auto it = states_.find(dest);
+  if (it == states_.end()) {
+    State s;
+    s.rate_index = 0;  // start at the most robust rate
+    s.success_threshold = options_.success_threshold;
+    s.probe_timer = options_.probe_timer_packets;
+    it = states_.emplace(dest, s).first;
+  }
+  return it->second;
+}
+
+WifiMode ArfController::SelectMode(const MacAddress& dest, size_t /*bytes*/,
+                                   uint8_t /*retry_count*/) {
+  return modes_[StateFor(dest).rate_index];
+}
+
+size_t ArfController::CurrentRateIndex(const MacAddress& dest) {
+  return StateFor(dest).rate_index;
+}
+
+void ArfController::OnTxResult(const MacAddress& dest, const WifiMode& /*mode*/, bool success,
+                               Time /*now*/) {
+  State& s = StateFor(dest);
+  ++s.packets_since_change;
+
+  if (success) {
+    ++s.consecutive_ok;
+    s.consecutive_fail = 0;
+    s.just_stepped_up = false;
+    const bool timer_fired = s.packets_since_change >= s.probe_timer;
+    if ((s.consecutive_ok >= s.success_threshold || timer_fired) &&
+        s.rate_index + 1 < modes_.size()) {
+      ++s.rate_index;
+      s.consecutive_ok = 0;
+      s.packets_since_change = 0;
+      s.just_stepped_up = true;
+    }
+    return;
+  }
+
+  ++s.consecutive_fail;
+  s.consecutive_ok = 0;
+  if (s.just_stepped_up) {
+    // Probe failed: immediate fallback.
+    if (s.rate_index > 0) {
+      --s.rate_index;
+    }
+    s.just_stepped_up = false;
+    s.packets_since_change = 0;
+    s.consecutive_fail = 0;
+    if (options_.adaptive) {
+      // AARF: both the success threshold and the probe timer double after a
+      // failed probe, so repeated unsuccessful probing backs off.
+      s.success_threshold =
+          std::min(s.success_threshold * 2, options_.max_success_threshold);
+      s.probe_timer = s.success_threshold + options_.probe_timer_packets;
+    }
+  } else if (s.consecutive_fail >= 2) {
+    if (s.rate_index > 0) {
+      --s.rate_index;
+    }
+    s.consecutive_fail = 0;
+    s.packets_since_change = 0;
+    if (options_.adaptive) {
+      s.success_threshold = options_.min_success_threshold;
+      s.probe_timer = options_.probe_timer_packets;
+    }
+  }
+}
+
+}  // namespace wlansim

@@ -1,0 +1,68 @@
+// ARF (Auto Rate Fallback, Kamerman & Monteban 1997) and AARF (Adaptive ARF,
+// Lacage et al. 2004).
+//
+// ARF: step up after `success_threshold` consecutive ACKs (or a probe timer),
+// step down after 2 consecutive failures; a failure on the first packet
+// after a rate increase falls back immediately.
+//
+// AARF: identical, except a failed probe doubles the success threshold
+// (capped), so unsuccessful probing becomes exponentially rarer — curing
+// ARF's oscillation on stable channels.
+
+#ifndef WLANSIM_RATE_ARF_H_
+#define WLANSIM_RATE_ARF_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "rate/rate_controller.h"
+
+namespace wlansim {
+
+class ArfController : public RateController {
+ public:
+  struct Options {
+    uint32_t success_threshold = 10;
+    uint32_t probe_timer_packets = 15;  // retry the higher rate after this many packets
+    bool adaptive = false;              // AARF behaviour
+    uint32_t min_success_threshold = 10;
+    uint32_t max_success_threshold = 60;
+  };
+
+  explicit ArfController(PhyStandard standard) : ArfController(standard, Options()) {}
+  ArfController(PhyStandard standard, Options options);
+
+  std::string name() const override { return options_.adaptive ? "aarf" : "arf"; }
+  WifiMode SelectMode(const MacAddress& dest, size_t bytes, uint8_t retry_count) override;
+  void OnTxResult(const MacAddress& dest, const WifiMode& mode, bool success, Time now) override;
+
+  // Diagnostics.
+  size_t CurrentRateIndex(const MacAddress& dest);
+
+ private:
+  struct State {
+    size_t rate_index = 0;
+    uint32_t consecutive_ok = 0;
+    uint32_t consecutive_fail = 0;
+    uint32_t packets_since_change = 0;
+    bool just_stepped_up = false;
+    uint32_t success_threshold;
+    uint32_t probe_timer;
+  };
+
+  State& StateFor(const MacAddress& dest);
+
+  std::vector<WifiMode> modes_;
+  Options options_;
+  std::unordered_map<MacAddress, State> states_;
+};
+
+inline ArfController MakeAarf(PhyStandard standard) {
+  ArfController::Options o;
+  o.adaptive = true;
+  return ArfController(standard, o);
+}
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_RATE_ARF_H_

@@ -1,0 +1,105 @@
+#include "rate/minstrel.h"
+
+#include <algorithm>
+
+namespace wlansim {
+
+MinstrelController::MinstrelController(PhyStandard standard, Rng rng, Options options)
+    : options_(options), rng_(rng) {
+  const auto modes = ModesFor(standard);
+  modes_.assign(modes.begin(), modes.end());
+}
+
+MinstrelController::State& MinstrelController::StateFor(const MacAddress& dest) {
+  auto it = states_.find(dest);
+  if (it == states_.end()) {
+    State s;
+    s.stats.resize(modes_.size());
+    for (size_t i = 0; i < modes_.size(); ++i) {
+      s.stats[i].airtime = FrameDuration(modes_[i], options_.reference_packet_bytes);
+    }
+    it = states_.emplace(dest, std::move(s)).first;
+  }
+  return it->second;
+}
+
+void MinstrelController::UpdateStats(State& s, Time now) {
+  if (now - s.last_update < options_.update_interval) {
+    return;
+  }
+  s.last_update = now;
+  for (size_t i = 0; i < s.stats.size(); ++i) {
+    RateStats& st = s.stats[i];
+    if (st.interval_attempts > 0) {
+      const double p = static_cast<double>(st.interval_successes) /
+                       static_cast<double>(st.interval_attempts);
+      st.ewma_prob = st.ewma_prob < 0
+                         ? p
+                         : options_.ewma_weight * st.ewma_prob + (1 - options_.ewma_weight) * p;
+    }
+    st.interval_attempts = 0;
+    st.interval_successes = 0;
+    const double prob = st.ewma_prob < 0 ? 0.0 : st.ewma_prob;
+    st.throughput =
+        prob * static_cast<double>(options_.reference_packet_bytes) * 8.0 / st.airtime.seconds();
+  }
+  // Rank by throughput. Untried rates keep throughput 0 and are reached via
+  // look-around probes.
+  size_t best = 0;
+  size_t second = 0;
+  double best_tp = -1.0;
+  double second_tp = -1.0;
+  for (size_t i = 0; i < s.stats.size(); ++i) {
+    const double tp = s.stats[i].throughput;
+    if (tp > best_tp) {
+      second = best;
+      second_tp = best_tp;
+      best = i;
+      best_tp = tp;
+    } else if (tp > second_tp) {
+      second = i;
+      second_tp = tp;
+    }
+  }
+  s.best = best;
+  s.second_best = second;
+}
+
+size_t MinstrelController::BestRateIndex(const MacAddress& dest) {
+  return StateFor(dest).best;
+}
+
+WifiMode MinstrelController::SelectMode(const MacAddress& dest, size_t /*bytes*/,
+                                        uint8_t retry_count) {
+  State& s = StateFor(dest);
+  if (retry_count == 1) {
+    return modes_[s.second_best];
+  }
+  if (retry_count >= 2) {
+    return modes_[0];  // final fallback: the most robust rate
+  }
+  ++s.packets;
+  if (rng_.NextDouble() < options_.lookaround_fraction) {
+    const auto pick =
+        static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(modes_.size()) - 1));
+    return modes_[pick];
+  }
+  return modes_[s.best];
+}
+
+void MinstrelController::OnTxResult(const MacAddress& dest, const WifiMode& mode, bool success,
+                                    Time now) {
+  State& s = StateFor(dest);
+  for (size_t i = 0; i < modes_.size(); ++i) {
+    if (modes_[i] == mode) {
+      ++s.stats[i].interval_attempts;
+      if (success) {
+        ++s.stats[i].interval_successes;
+      }
+      break;
+    }
+  }
+  UpdateStats(s, now);
+}
+
+}  // namespace wlansim

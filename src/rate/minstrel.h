@@ -1,0 +1,67 @@
+// Minstrel (Derek Smithies & Felix Fietkau, the Linux mac80211 default):
+// maintains an EWMA of per-rate delivery probability, recomputed every
+// statistics interval, ranks rates by expected throughput
+// (prob × payload / airtime), and spends a fixed fraction of frames on
+// look-around probes of random rates. Retries fall back through the
+// best → second-best → most-robust chain.
+
+#ifndef WLANSIM_RATE_MINSTREL_H_
+#define WLANSIM_RATE_MINSTREL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/random.h"
+#include "rate/rate_controller.h"
+
+namespace wlansim {
+
+class MinstrelController final : public RateController {
+ public:
+  struct Options {
+    Time update_interval = Time::Millis(100);
+    double ewma_weight = 0.75;       // weight of history in the EWMA
+    double lookaround_fraction = 0.1;
+    size_t reference_packet_bytes = 1200;
+  };
+
+  MinstrelController(PhyStandard standard, Rng rng)
+      : MinstrelController(standard, rng, Options()) {}
+  MinstrelController(PhyStandard standard, Rng rng, Options options);
+
+  std::string name() const override { return "minstrel"; }
+  WifiMode SelectMode(const MacAddress& dest, size_t bytes, uint8_t retry_count) override;
+  void OnTxResult(const MacAddress& dest, const WifiMode& mode, bool success, Time now) override;
+
+  // Diagnostics for tests: current best-throughput rate index.
+  size_t BestRateIndex(const MacAddress& dest);
+
+ private:
+  struct RateStats {
+    uint32_t interval_attempts = 0;
+    uint32_t interval_successes = 0;
+    double ewma_prob = -1.0;  // <0 = no data yet
+    double throughput = 0.0;  // bits/s estimate
+    Time airtime;
+  };
+
+  struct State {
+    std::vector<RateStats> stats;
+    size_t best = 0;
+    size_t second_best = 0;
+    Time last_update;
+    uint64_t packets = 0;
+  };
+
+  State& StateFor(const MacAddress& dest);
+  void UpdateStats(State& s, Time now);
+
+  std::vector<WifiMode> modes_;
+  Options options_;
+  Rng rng_;
+  std::unordered_map<MacAddress, State> states_;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_RATE_MINSTREL_H_

@@ -1,0 +1,57 @@
+#include "rate/onoe.h"
+
+namespace wlansim {
+
+OnoeController::OnoeController(PhyStandard standard, Options options) : options_(options) {
+  const auto modes = ModesFor(standard);
+  modes_.assign(modes.begin(), modes.end());
+}
+
+WifiMode OnoeController::SelectMode(const MacAddress& dest, size_t /*bytes*/,
+                                    uint8_t /*retry_count*/) {
+  return modes_[states_[dest].rate_index];
+}
+
+void OnoeController::RollWindow(State& s, Time now) {
+  if (now - s.window_start < options_.window) {
+    return;
+  }
+  if (s.window_tx > 0) {
+    const double fail_ratio =
+        static_cast<double>(s.window_fail) / static_cast<double>(s.window_tx);
+    if (fail_ratio > 0.5) {
+      if (s.rate_index > 0) {
+        --s.rate_index;
+      }
+      s.credits = 0;
+    } else if (fail_ratio < 0.1) {
+      ++s.credits;
+      if (s.credits >= options_.credits_for_raise) {
+        if (s.rate_index + 1 < modes_.size()) {
+          ++s.rate_index;
+        }
+        s.credits = 0;
+      }
+    } else {
+      // Mediocre window: slowly bleed credits.
+      if (s.credits > 0) {
+        --s.credits;
+      }
+    }
+  }
+  s.window_tx = 0;
+  s.window_fail = 0;
+  s.window_start = now;
+}
+
+void OnoeController::OnTxResult(const MacAddress& dest, const WifiMode& /*mode*/, bool success,
+                                Time now) {
+  State& s = states_[dest];
+  ++s.window_tx;
+  if (!success) {
+    ++s.window_fail;
+  }
+  RollWindow(s, now);
+}
+
+}  // namespace wlansim

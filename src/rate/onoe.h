@@ -1,0 +1,49 @@
+// ONOE rate control (Atsushi Onoe's MadWifi algorithm): credit-based,
+// window-driven. Each fixed window the controller examines retry/failure
+// ratios; clean windows earn credits, and ten credits buy a rate increase,
+// while windows with >50 % retries force an immediate decrease. Slow but
+// stable — the classic contrast to ARF's per-packet agility.
+
+#ifndef WLANSIM_RATE_ONOE_H_
+#define WLANSIM_RATE_ONOE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "rate/rate_controller.h"
+
+namespace wlansim {
+
+class OnoeController final : public RateController {
+ public:
+  struct Options {
+    Time window = Time::Millis(1000);
+    uint32_t credits_for_raise = 10;
+  };
+
+  explicit OnoeController(PhyStandard standard) : OnoeController(standard, Options()) {}
+  OnoeController(PhyStandard standard, Options options);
+
+  std::string name() const override { return "onoe"; }
+  WifiMode SelectMode(const MacAddress& dest, size_t bytes, uint8_t retry_count) override;
+  void OnTxResult(const MacAddress& dest, const WifiMode& mode, bool success, Time now) override;
+
+ private:
+  struct State {
+    size_t rate_index = 0;
+    uint32_t credits = 0;
+    uint32_t window_tx = 0;
+    uint32_t window_fail = 0;
+    Time window_start;
+  };
+
+  void RollWindow(State& s, Time now);
+
+  std::vector<WifiMode> modes_;
+  Options options_;
+  std::unordered_map<MacAddress, State> states_;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_RATE_ONOE_H_

@@ -1,0 +1,54 @@
+// Driver-level rate adaptation interface.
+//
+// Controllers see exactly what a real driver sees: the outcome of each data
+// transmission attempt (ACK received or not) and, optionally, the RSSI of
+// received ACKs. They never peek at the channel model, so the algorithms
+// reproduce genuine driver behaviour.
+
+#ifndef WLANSIM_RATE_RATE_CONTROLLER_H_
+#define WLANSIM_RATE_RATE_CONTROLLER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/mac_address.h"
+#include "core/time.h"
+#include "phy/wifi_mode.h"
+
+namespace wlansim {
+
+class RateController {
+ public:
+  virtual ~RateController() = default;
+
+  virtual std::string name() const = 0;
+
+  // Mode to use for the next transmission attempt of `bytes` to `dest`.
+  // `retry_count` is the number of failed attempts for the current frame
+  // (0 on the first try), letting algorithms run retry chains.
+  virtual WifiMode SelectMode(const MacAddress& dest, size_t bytes, uint8_t retry_count) = 0;
+
+  // Outcome of one data attempt: `success` means the ACK arrived.
+  virtual void OnTxResult(const MacAddress& dest, const WifiMode& mode, bool success,
+                          Time now) = 0;
+
+  // Called when the frame is abandoned after the retry limit.
+  virtual void OnFinalFailure(const MacAddress& /*dest*/) {}
+};
+
+// Always transmits at a fixed mode (the baseline, and the "oracle" when the
+// experiment sweeps all fixed rates and takes the envelope).
+class FixedRateController final : public RateController {
+ public:
+  explicit FixedRateController(const WifiMode& mode) : mode_(mode) {}
+  std::string name() const override { return std::string("fixed-") + mode_.name; }
+  WifiMode SelectMode(const MacAddress&, size_t, uint8_t) override { return mode_; }
+  void OnTxResult(const MacAddress&, const WifiMode&, bool, Time) override {}
+
+ private:
+  WifiMode mode_;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_RATE_RATE_CONTROLLER_H_

@@ -1,0 +1,114 @@
+#include "rate/sample_rate.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace wlansim {
+
+double SampleRateController::RateStats::AvgTxTimeUs(Time lossless_us) const {
+  if (attempts == 0) {
+    return lossless_us.micros();  // optimistic prior: untried rates look attractive
+  }
+  if (successes == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double p = static_cast<double>(successes) / static_cast<double>(attempts);
+  // Each failed attempt costs one airtime plus an average backoff penalty.
+  const double retries_per_success = 1.0 / p;
+  return lossless_us.micros() * retries_per_success;
+}
+
+SampleRateController::SampleRateController(PhyStandard standard, Rng rng, Options options)
+    : options_(options), rng_(rng) {
+  const auto modes = ModesFor(standard);
+  modes_.assign(modes.begin(), modes.end());
+}
+
+SampleRateController::State& SampleRateController::StateFor(const MacAddress& dest) {
+  auto it = states_.find(dest);
+  if (it == states_.end()) {
+    State s;
+    s.stats.resize(modes_.size());
+    for (size_t i = 0; i < modes_.size(); ++i) {
+      s.stats[i].lossless_tx = FrameDuration(modes_[i], options_.reference_packet_bytes);
+    }
+    s.current = 0;
+    it = states_.emplace(dest, std::move(s)).first;
+  }
+  return it->second;
+}
+
+size_t SampleRateController::BestRate(const State& s) const {
+  size_t best = 0;
+  double best_time = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < s.stats.size(); ++i) {
+    const double t = s.stats[i].AvgTxTimeUs(s.stats[i].lossless_tx);
+    if (t < best_time) {
+      best_time = t;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void SampleRateController::DecayIfStale(State& s, Time now) {
+  for (RateStats& st : s.stats) {
+    if (st.attempts > 0 && now - st.last_update > options_.stats_window) {
+      // Forget stale statistics so the channel can be re-probed.
+      st.attempts /= 2;
+      st.successes /= 2;
+      st.last_update = now;
+    }
+  }
+}
+
+WifiMode SampleRateController::SelectMode(const MacAddress& dest, size_t /*bytes*/,
+                                          uint8_t retry_count) {
+  State& s = StateFor(dest);
+  if (retry_count > 0) {
+    // Retries always use the best known rate (never burn retries sampling).
+    s.pending_sample = SIZE_MAX;
+    s.current = BestRate(s);
+    return modes_[s.current];
+  }
+  ++s.packets;
+  const size_t best = BestRate(s);
+  s.current = best;
+  if (rng_.NextDouble() < options_.sample_fraction) {
+    // Sample a random different rate whose lossless airtime beats the
+    // current average (Bicket's "could be better" filter).
+    const double current_avg = s.stats[best].AvgTxTimeUs(s.stats[best].lossless_tx);
+    std::vector<size_t> candidates;
+    for (size_t i = 0; i < modes_.size(); ++i) {
+      if (i != best && s.stats[i].lossless_tx.micros() < current_avg) {
+        candidates.push_back(i);
+      }
+    }
+    if (!candidates.empty()) {
+      const size_t pick =
+          candidates[static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+      s.pending_sample = pick;
+      s.current = pick;
+    }
+  }
+  return modes_[s.current];
+}
+
+void SampleRateController::OnTxResult(const MacAddress& dest, const WifiMode& mode, bool success,
+                                      Time now) {
+  State& s = StateFor(dest);
+  DecayIfStale(s, now);
+  for (size_t i = 0; i < modes_.size(); ++i) {
+    if (modes_[i] == mode) {
+      ++s.stats[i].attempts;
+      if (success) {
+        ++s.stats[i].successes;
+      }
+      s.stats[i].last_update = now;
+      break;
+    }
+  }
+  s.pending_sample = SIZE_MAX;
+}
+
+}  // namespace wlansim

@@ -1,0 +1,63 @@
+// SampleRate (John Bicket, MIT 2005): picks the rate with the lowest
+// expected per-packet transmission time (airtime / success probability,
+// with a backoff penalty per retry), and spends 10 % of packets sampling a
+// randomly chosen other rate that could plausibly do better. Statistics
+// decay over a sliding window so the controller tracks channel drift.
+
+#ifndef WLANSIM_RATE_SAMPLE_RATE_H_
+#define WLANSIM_RATE_SAMPLE_RATE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/random.h"
+#include "rate/rate_controller.h"
+
+namespace wlansim {
+
+class SampleRateController final : public RateController {
+ public:
+  struct Options {
+    double sample_fraction = 0.1;
+    Time stats_window = Time::Seconds(10);
+    size_t reference_packet_bytes = 1200;
+  };
+
+  SampleRateController(PhyStandard standard, Rng rng)
+      : SampleRateController(standard, rng, Options()) {}
+  SampleRateController(PhyStandard standard, Rng rng, Options options);
+
+  std::string name() const override { return "samplerate"; }
+  WifiMode SelectMode(const MacAddress& dest, size_t bytes, uint8_t retry_count) override;
+  void OnTxResult(const MacAddress& dest, const WifiMode& mode, bool success, Time now) override;
+
+ private:
+  struct RateStats {
+    uint64_t attempts = 0;
+    uint64_t successes = 0;
+    Time last_update;
+    // Average transmission time per *successful* packet, microseconds.
+    double AvgTxTimeUs(Time lossless_us) const;
+    Time lossless_tx;  // airtime of a reference packet at this rate
+  };
+
+  struct State {
+    std::vector<RateStats> stats;  // one per mode
+    size_t current = 0;
+    uint64_t packets = 0;
+    size_t pending_sample = SIZE_MAX;  // rate index being sampled, if any
+  };
+
+  State& StateFor(const MacAddress& dest);
+  size_t BestRate(const State& s) const;
+  void DecayIfStale(State& s, Time now);
+
+  std::vector<WifiMode> modes_;
+  Options options_;
+  Rng rng_;
+  std::unordered_map<MacAddress, State> states_;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_RATE_SAMPLE_RATE_H_

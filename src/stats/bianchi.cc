@@ -1,0 +1,76 @@
+#include "stats/bianchi.h"
+
+#include <cmath>
+
+namespace wlansim {
+namespace {
+
+// tau as a function of conditional collision probability p (Bianchi eq. 7).
+double TauOfP(double p, uint32_t w_min_slots, uint32_t m) {
+  const double w = static_cast<double>(w_min_slots) + 1.0;  // W = CWmin + 1
+  const double two_p = 2.0 * p;
+  const double num = 2.0 * (1.0 - two_p);
+  const double den = (1.0 - two_p) * (w + 1.0) + p * w * (1.0 - std::pow(two_p, m));
+  return num / den;
+}
+
+}  // namespace
+
+BianchiResult SolveBianchi(const BianchiParams& params) {
+  const auto n = static_cast<double>(params.n_stations);
+
+  // Bisection on p in [0, 1): f(p) = p - (1 - (1 - tau(p))^(n-1)) is
+  // monotone increasing through the unique root.
+  double lo = 0.0;
+  double hi = 0.999999;
+  double p = 0.0;
+  double tau = 0.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    p = 0.5 * (lo + hi);
+    tau = TauOfP(p, params.cw_min, params.max_backoff_stages);
+    const double implied = 1.0 - std::pow(1.0 - tau, n - 1.0);
+    if (implied > p) {
+      lo = p;
+    } else {
+      hi = p;
+    }
+  }
+
+  BianchiResult result;
+  result.tau = tau;
+  result.collision_probability = p;
+
+  // Slot-type probabilities (Bianchi §4).
+  const double p_tr = 1.0 - std::pow(1.0 - tau, n);            // some transmission
+  const double p_s = n * tau * std::pow(1.0 - tau, n - 1.0) / p_tr;  // success | tx
+
+  const double sigma = params.slot.seconds();
+  const double sifs = params.sifs.seconds();
+  const double difs = params.difs.seconds();
+  const double delta = params.propagation.seconds();
+  const double t_data = params.data_duration.seconds();
+  const double t_ack = params.ack_duration.seconds();
+  const double t_rts = params.rts_duration.seconds();
+  const double t_cts = params.cts_duration.seconds();
+
+  // Basic access: success = DATA + SIFS + ACK + DIFS; collision = DATA + DIFS
+  // (the longest colliding frame holds the medium).
+  const double ts_basic = t_data + sifs + t_ack + difs + 2 * delta;
+  const double tc_basic = t_data + difs + delta;
+  // RTS/CTS: success adds the handshake; collision costs only the RTS.
+  const double ts_rts = t_rts + sifs + t_cts + sifs + t_data + sifs + t_ack + difs + 4 * delta;
+  const double tc_rts = t_rts + difs + delta;
+
+  auto throughput = [&](double ts, double tc) {
+    const double numerator = p_s * p_tr * params.payload_bits;
+    const double denominator =
+        (1.0 - p_tr) * sigma + p_tr * p_s * ts + p_tr * (1.0 - p_s) * tc;
+    return numerator / denominator;
+  };
+
+  result.throughput_bps_basic = throughput(ts_basic, tc_basic);
+  result.throughput_bps_rtscts = throughput(ts_rts, tc_rts);
+  return result;
+}
+
+}  // namespace wlansim

@@ -1,0 +1,50 @@
+// Bianchi's analytic model of DCF saturation throughput (G. Bianchi, "
+// Performance Analysis of the IEEE 802.11 Distributed Coordination
+// Function", JSAC 2000).
+//
+// Solves the two-equation fixed point
+//     tau = 2(1-2p) / ((1-2p)(W+1) + p W (1 - (2p)^m))
+//     p   = 1 - (1 - tau)^(n-1)
+// and evaluates normalized/absolute saturation throughput for basic access
+// and RTS/CTS given slot-level timing. Used by the F2 harness to print the
+// analytic column next to the simulated one, and by tests as an independent
+// oracle for the simulated MAC.
+
+#ifndef WLANSIM_STATS_BIANCHI_H_
+#define WLANSIM_STATS_BIANCHI_H_
+
+#include <cstdint>
+
+#include "core/time.h"
+
+namespace wlansim {
+
+struct BianchiParams {
+  uint32_t n_stations = 10;
+  uint32_t cw_min = 31;           // W - 1 (window of CWmin slots + 1)
+  uint32_t max_backoff_stages = 5;  // m: CWmax = 2^m (CWmin+1) - 1
+  Time slot;
+  Time sifs;
+  Time difs;
+  // On-air durations for the payload exchange at the chosen rates.
+  Time data_duration;   // PLCP + MAC header + payload
+  Time ack_duration;
+  Time rts_duration;    // only used for RTS/CTS mode
+  Time cts_duration;
+  double payload_bits = 8.0 * 1500.0;
+  Time propagation = Time::Micros(1);
+};
+
+struct BianchiResult {
+  double tau = 0.0;                 // per-station transmit probability/slot
+  double collision_probability = 0.0;  // p
+  double throughput_bps_basic = 0.0;
+  double throughput_bps_rtscts = 0.0;
+};
+
+// Solves the fixed point by bisection on tau (monotone in p).
+BianchiResult SolveBianchi(const BianchiParams& params);
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_STATS_BIANCHI_H_

@@ -1,0 +1,91 @@
+#include "stats/flow_stats.h"
+
+#include <cmath>
+
+namespace wlansim {
+
+void FlowStats::RecordSent(uint32_t flow_id, size_t bytes, Time now) {
+  Flow& flow = flows_[flow_id];
+  if (flow.tx_packets == 0) {
+    flow.first_tx = now;
+  }
+  ++flow.tx_packets;
+  flow.tx_bytes += bytes;
+}
+
+void FlowStats::RecordReceived(const Packet& packet, Time now) {
+  Flow& flow = flows_[packet.meta().flow_id];
+  ++flow.rx_packets;
+  flow.rx_bytes += packet.size();
+  flow.last_rx = now;
+
+  const Time delay = now - packet.meta().created;
+  flow.delay_us.Add(delay.micros());
+  if (flow.have_prev_delay) {
+    const double d = std::fabs((delay - flow.prev_delay).micros());
+    flow.jitter_us += (d - flow.jitter_us) / 16.0;
+  }
+  flow.prev_delay = delay;
+  flow.have_prev_delay = true;
+}
+
+const FlowStats::Flow* FlowStats::Find(uint32_t flow_id) const {
+  auto it = flows_.find(flow_id);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+double FlowStats::GoodputMbps(uint32_t flow_id) const {
+  uint64_t bytes = 0;
+  Time first = Time::Max();
+  Time last = Time::Zero();
+  for (const auto& [id, flow] : flows_) {
+    if (flow_id != kAllFlows && id != flow_id) {
+      continue;
+    }
+    bytes += flow.rx_bytes;
+    if (flow.tx_packets > 0 && flow.first_tx < first) {
+      first = flow.first_tx;
+    }
+    if (flow.last_rx > last) {
+      last = flow.last_rx;
+    }
+  }
+  if (bytes == 0 || last <= first) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes) * 8.0 / (last - first).seconds() / 1e6;
+}
+
+double FlowStats::LossRate(uint32_t flow_id) const {
+  uint64_t tx = 0;
+  uint64_t rx = 0;
+  for (const auto& [id, flow] : flows_) {
+    if (flow_id != kAllFlows && id != flow_id) {
+      continue;
+    }
+    tx += flow.tx_packets;
+    rx += flow.rx_packets;
+  }
+  if (tx == 0) {
+    return 0.0;
+  }
+  return 1.0 - static_cast<double>(rx) / static_cast<double>(tx);
+}
+
+uint64_t FlowStats::TotalRxBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [id, flow] : flows_) {
+    bytes += flow.rx_bytes;
+  }
+  return bytes;
+}
+
+uint64_t FlowStats::TotalRxPackets() const {
+  uint64_t packets = 0;
+  for (const auto& [id, flow] : flows_) {
+    packets += flow.rx_packets;
+  }
+  return packets;
+}
+
+}  // namespace wlansim

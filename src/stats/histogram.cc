@@ -1,0 +1,25 @@
+#include "stats/histogram.h"
+
+namespace wlansim {
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) {
+    return lo_;
+  }
+  const double target = q * static_cast<double>(total_);
+  double cumulative = static_cast<double>(underflow_);
+  if (cumulative >= target) {
+    return lo_;
+  }
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(bins_[i]);
+    if (next >= target && bins_[i] > 0) {
+      const double frac = (target - cumulative) / static_cast<double>(bins_[i]);
+      return bin_lower(i) + frac * width_;
+    }
+    cumulative = next;
+  }
+  return bin_lower(bins_.size());  // in the overflow bucket
+}
+
+}  // namespace wlansim

@@ -1,0 +1,56 @@
+// Fixed-width-bin histogram with overflow/underflow buckets and quantile
+// estimation.
+
+#ifndef WLANSIM_STATS_HISTOGRAM_H_
+#define WLANSIM_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wlansim {
+
+class Histogram {
+ public:
+  // Bins of width `bin_width` covering [lo, lo + bin_count*bin_width).
+  Histogram(double lo, double bin_width, size_t bin_count)
+      : lo_(lo), width_(bin_width), bins_(bin_count, 0) {}
+
+  void Add(double x) {
+    ++total_;
+    if (x < lo_) {
+      ++underflow_;
+      return;
+    }
+    const auto idx = static_cast<size_t>((x - lo_) / width_);
+    if (idx >= bins_.size()) {
+      ++overflow_;
+      return;
+    }
+    ++bins_[idx];
+  }
+
+  uint64_t total() const { return total_; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  uint64_t bin(size_t i) const { return bins_[i]; }
+  size_t bin_count() const { return bins_.size(); }
+  double bin_lower(size_t i) const { return lo_ + static_cast<double>(i) * width_; }
+
+  // Quantile estimate by linear interpolation inside the containing bin.
+  // q in [0,1]. Returns the lower edge for q quantiles that land in the
+  // under/overflow buckets.
+  double Quantile(double q) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<uint64_t> bins_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_STATS_HISTOGRAM_H_

@@ -1,0 +1,48 @@
+// Streaming summary statistics (Welford) — mean/variance/min/max without
+// storing samples.
+
+#ifndef WLANSIM_STATS_SUMMARY_H_
+#define WLANSIM_STATS_SUMMARY_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace wlansim {
+
+class Summary {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) {
+      min_ = x;
+    }
+    if (x > max_) {
+      max_ = x;
+    }
+    sum_ += x;
+  }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_STATS_SUMMARY_H_

@@ -1,0 +1,82 @@
+#include "stats/table.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace wlansim {
+
+void Table::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  emit_row(columns_);
+  out << "|";
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+std::string Table::ToCsv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      return cell;
+    }
+    std::string quoted = "\"";
+    for (char ch : cell) {
+      if (ch == '"') {
+        quoted += '"';
+      }
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+
+  std::ostringstream out;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out << (c ? "," : "") << quote(columns_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "," : "") << quote(row[c]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace wlansim

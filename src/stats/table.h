@@ -1,0 +1,37 @@
+// Console table / CSV writer shared by the benchmark harnesses so every
+// experiment prints its rows in one uniform, diffable format.
+
+#ifndef WLANSIM_STATS_TABLE_H_
+#define WLANSIM_STATS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace wlansim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+  // Adds a row; the cell count must equal the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+
+  // Renders an aligned ASCII table.
+  std::string ToString() const;
+
+  // Renders RFC-4180-ish CSV (cells containing commas/quotes get quoted).
+  std::string ToCsv() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_STATS_TABLE_H_

@@ -1,0 +1,23 @@
+#include "stats/time_series.h"
+
+namespace wlansim {
+
+void TimeSeries::Add(Time at, double value) {
+  const auto idx = static_cast<size_t>(at.picos() / width_.picos());
+  while (buckets_.size() <= idx) {
+    buckets_.push_back(Bucket{width_ * static_cast<int64_t>(buckets_.size()), 0.0, 0});
+  }
+  buckets_[idx].sum += value;
+  ++buckets_[idx].count;
+}
+
+std::vector<double> TimeSeries::RatePerSecond() const {
+  std::vector<double> rates;
+  rates.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) {
+    rates.push_back(bucket.sum / width_.seconds());
+  }
+  return rates;
+}
+
+}  // namespace wlansim

@@ -1,0 +1,39 @@
+// Time-bucketed series (e.g. throughput over time for the roaming figure).
+
+#ifndef WLANSIM_STATS_TIME_SERIES_H_
+#define WLANSIM_STATS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time.h"
+
+namespace wlansim {
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(Time bucket_width) : width_(bucket_width) {}
+
+  // Accumulates `value` into the bucket containing `at`.
+  void Add(Time at, double value);
+
+  struct Bucket {
+    Time start;
+    double sum = 0.0;
+    uint64_t count = 0;
+  };
+
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+  Time bucket_width() const { return width_; }
+
+  // Sum-per-second in each bucket (e.g. bytes → rate).
+  std::vector<double> RatePerSecond() const;
+
+ private:
+  Time width_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_STATS_TIME_SERIES_H_

@@ -1,0 +1,344 @@
+// Core kernel tests: Time arithmetic, event queue ordering and cancellation,
+// simulator semantics, deterministic RNG, packet buffer, MAC addresses.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/event_queue.h"
+#include "core/mac_address.h"
+#include "core/packet.h"
+#include "core/random.h"
+#include "core/simulator.h"
+#include "core/time.h"
+#include "core/units.h"
+
+namespace wlansim {
+namespace {
+
+// --- Time ----------------------------------------------------------------------
+
+TEST(Time, ConstructionAndAccessors) {
+  EXPECT_EQ(Time::Micros(5).picos(), 5'000'000);
+  EXPECT_EQ(Time::Millis(2).picos(), 2'000'000'000);
+  EXPECT_EQ(Time::Seconds(1).picos(), 1'000'000'000'000);
+  EXPECT_DOUBLE_EQ(Time::Micros(10).seconds(), 10e-6);
+  EXPECT_DOUBLE_EQ(Time::Seconds(2.5).seconds(), 2.5);
+}
+
+TEST(Time, SubNanosecondResolution) {
+  // 802.11b 11 Mb/s byte time is 8/11 us ≈ 727272.7 ps — representable to
+  // within half a picosecond, far below any protocol timing constant.
+  const Time byte_time = Time::Micros(8.0 / 11.0);
+  EXPECT_NEAR(static_cast<double>(byte_time.picos()), 8e6 / 11.0, 0.5);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::Micros(10);
+  const Time b = Time::Micros(4);
+  EXPECT_EQ((a + b).micros(), 14.0);
+  EXPECT_EQ((a - b).micros(), 6.0);
+  EXPECT_EQ((a * 3).micros(), 30.0);
+  EXPECT_EQ((a / 2).micros(), 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_EQ((2.5 * b).micros(), 10.0);
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(Time::Micros(1), Time::Micros(2));
+  EXPECT_EQ(Time::Millis(1), Time::Micros(1000));
+  EXPECT_TRUE(Time::Zero().IsZero());
+  EXPECT_TRUE((Time::Zero() - Time::Micros(1)).IsNegative());
+}
+
+TEST(Time, ToStringPicksUnits) {
+  EXPECT_EQ(Time::Seconds(2).ToString(), "2s");
+  EXPECT_EQ(Time::Micros(12.5).ToString(), "12.5us");
+  EXPECT_EQ(Time::Nanos(3).ToString(), "3ns");
+}
+
+// --- EventQueue ------------------------------------------------------------------
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(Time::Micros(30), [&] { order.push_back(3); });
+  q.Schedule(Time::Micros(10), [&] { order.push_back(1); });
+  q.Schedule(Time::Micros(20), [&] { order.push_back(2); });
+  while (!q.IsEmpty()) {
+    q.PopNext(nullptr)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(Time::Micros(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.IsEmpty()) {
+    q.PopNext(nullptr)();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.Schedule(Time::Micros(1), [&] { ran = true; });
+  EXPECT_TRUE(id.IsPending());
+  id.Cancel();
+  EXPECT_FALSE(id.IsPending());
+  EXPECT_TRUE(q.IsEmpty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelMiddleEventKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(Time::Micros(1), [&] { order.push_back(1); });
+  EventId mid = q.Schedule(Time::Micros(2), [&] { order.push_back(2); });
+  q.Schedule(Time::Micros(3), [&] { order.push_back(3); });
+  mid.Cancel();
+  while (!q.IsEmpty()) {
+    q.PopNext(nullptr)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, DefaultEventIdIsInert) {
+  EventId id;
+  EXPECT_FALSE(id.IsPending());
+  id.Cancel();  // no crash
+}
+
+// --- Simulator --------------------------------------------------------------------
+
+TEST(Simulator, AdvancesClockToEventTimes) {
+  Simulator sim;
+  std::vector<double> at;
+  sim.Schedule(Time::Micros(10), [&] { at.push_back(sim.Now().micros()); });
+  sim.Schedule(Time::Micros(5), [&] { at.push_back(sim.Now().micros()); });
+  sim.Run();
+  EXPECT_EQ(at, (std::vector<double>{5.0, 10.0}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      sim.Schedule(Time::Micros(1), recurse);
+    }
+  };
+  sim.Schedule(Time::Micros(1), recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.Now(), Time::Micros(5));
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    sim.Schedule(Time::Millis(1), tick);
+  };
+  sim.Schedule(Time::Millis(1), tick);
+  sim.RunUntil(Time::Millis(10));
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sim.Now(), Time::Millis(10));
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.Schedule(Time::Micros(i), [&] {
+      if (++count == 3) {
+        sim.Stop();
+      }
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool ran = false;
+  sim.Schedule(Time::Micros(5), [&] {
+    sim.Schedule(Time::Micros(-10), [&] {
+      ran = true;
+      EXPECT_EQ(sim.Now(), Time::Micros(5));
+    });
+  });
+  sim.Run();
+  EXPECT_TRUE(ran);
+}
+
+// --- Rng --------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.NextU64() == b.NextU64();
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng parent(7);
+  Rng f1 = parent.Fork("alpha");
+  Rng f2 = parent.Fork("alpha");
+  Rng f3 = parent.Fork("beta");
+  EXPECT_EQ(f1.NextU64(), f2.NextU64());
+  EXPECT_NE(f1.NextU64(), f3.NextU64());
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(0, 7);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 7);
+    saw_lo |= v == 0;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.Exponential(2.0);
+  }
+  EXPECT_NEAR(sum / kN, 2.0, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0;
+  double sq = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+// --- Packet -----------------------------------------------------------------------
+
+TEST(Packet, HeaderPrependAndStrip) {
+  Packet p(10);
+  const std::vector<uint8_t> header = {1, 2, 3, 4};
+  p.AddHeader(header);
+  EXPECT_EQ(p.size(), 14u);
+  EXPECT_EQ(p.bytes()[0], 1);
+  p.RemoveHeader(4);
+  EXPECT_EQ(p.size(), 10u);
+}
+
+TEST(Packet, HeadroomGrowsWhenExhausted) {
+  Packet p(4, /*headroom=*/2);
+  const std::vector<uint8_t> big(100, 0xAB);
+  p.AddHeader(big);
+  EXPECT_EQ(p.size(), 104u);
+  EXPECT_EQ(p.bytes()[0], 0xAB);
+}
+
+TEST(Packet, TrailerOps) {
+  Packet p(std::vector<uint8_t>{1, 2, 3});
+  const std::vector<uint8_t> fcs = {9, 9};
+  p.AddTrailer(fcs);
+  EXPECT_EQ(p.size(), 5u);
+  EXPECT_EQ(p.bytes()[4], 9);
+  p.RemoveTrailer(2);
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.bytes()[2], 3);
+}
+
+TEST(Packet, UniqueUids) {
+  Packet a(1);
+  Packet b(1);
+  EXPECT_NE(a.uid(), b.uid());
+}
+
+TEST(Packet, CopyPreservesMetaAndBytes) {
+  Packet a(std::vector<uint8_t>{5, 6, 7});
+  a.meta().flow_id = 42;
+  Packet b = a;
+  EXPECT_EQ(b.meta().flow_id, 42u);
+  EXPECT_EQ(b.bytes()[1], 6);
+}
+
+// --- MacAddress -------------------------------------------------------------------
+
+TEST(MacAddress, FromIdAndToString) {
+  const MacAddress a = MacAddress::FromId(0x010203);
+  EXPECT_EQ(a.ToString(), "02:00:00:01:02:03");
+  EXPECT_FALSE(a.IsGroup());
+}
+
+TEST(MacAddress, BroadcastIsGroup) {
+  EXPECT_TRUE(MacAddress::Broadcast().IsBroadcast());
+  EXPECT_TRUE(MacAddress::Broadcast().IsGroup());
+}
+
+TEST(MacAddress, Ordering) {
+  EXPECT_LT(MacAddress::FromId(1), MacAddress::FromId(2));
+  EXPECT_EQ(MacAddress::FromId(7), MacAddress::FromId(7));
+}
+
+// --- Units ------------------------------------------------------------------------
+
+TEST(Units, DbmRoundTrip) {
+  EXPECT_NEAR(MwToDbm(DbmToMw(-65.0)), -65.0, 1e-9);
+  EXPECT_NEAR(DbmToMw(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(DbmToMw(10.0), 10.0, 1e-9);
+}
+
+TEST(Units, ThermalNoiseFloor) {
+  // kTB for 20 MHz at NF 0 dB ≈ -101 dBm.
+  const double n = ThermalNoiseW(20e6, 0.0);
+  EXPECT_NEAR(WToDbm(n), -101.0, 0.3);
+  // A 7 dB noise figure raises it by exactly 7 dB.
+  EXPECT_NEAR(WToDbm(ThermalNoiseW(20e6, 7.0)) - WToDbm(n), 7.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace wlansim

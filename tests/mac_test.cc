@@ -1,0 +1,372 @@
+// MAC-layer unit tests: frame codec round trips, FCS integrity, management
+// bodies, the transmit queue, DCF channel-access timing, NAV, and EIFS.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/simulator.h"
+#include "mac/channel_access.h"
+#include "mac/frames.h"
+#include "mac/mac_queue.h"
+
+namespace wlansim {
+namespace {
+
+// --- Frame codec ----------------------------------------------------------------
+
+TEST(Frames, DataHeaderRoundTrip) {
+  MacHeader h;
+  h.type = FrameType::kData;
+  h.subtype = FrameSubtype::kData;
+  h.to_ds = true;
+  h.retry = true;
+  h.protected_frame = true;
+  h.duration_us = 314;
+  h.addr1 = MacAddress::FromId(1);
+  h.addr2 = MacAddress::FromId(2);
+  h.addr3 = MacAddress::FromId(3);
+  h.sequence = 0x0ABC;
+  h.fragment = 5;
+
+  std::vector<uint8_t> wire;
+  h.Serialize(wire);
+  EXPECT_EQ(wire.size(), 24u);
+
+  auto parsed = MacHeader::Deserialize(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, FrameType::kData);
+  EXPECT_TRUE(parsed->to_ds);
+  EXPECT_FALSE(parsed->from_ds);
+  EXPECT_TRUE(parsed->retry);
+  EXPECT_TRUE(parsed->protected_frame);
+  EXPECT_EQ(parsed->duration_us, 314);
+  EXPECT_EQ(parsed->addr1, MacAddress::FromId(1));
+  EXPECT_EQ(parsed->addr2, MacAddress::FromId(2));
+  EXPECT_EQ(parsed->addr3, MacAddress::FromId(3));
+  EXPECT_EQ(parsed->sequence, 0x0ABC);
+  EXPECT_EQ(parsed->fragment, 5);
+}
+
+TEST(Frames, ControlFrameSizes) {
+  MacHeader rts;
+  rts.type = FrameType::kControl;
+  rts.subtype = FrameSubtype::kRts;
+  EXPECT_EQ(rts.SerializedSize(), 16u);
+
+  MacHeader cts;
+  cts.type = FrameType::kControl;
+  cts.subtype = FrameSubtype::kCts;
+  EXPECT_EQ(cts.SerializedSize(), 10u);
+
+  MacHeader ack;
+  ack.type = FrameType::kControl;
+  ack.subtype = FrameSubtype::kAck;
+  EXPECT_EQ(ack.SerializedSize(), 10u);
+
+  MacHeader beacon;
+  beacon.type = FrameType::kManagement;
+  beacon.subtype = FrameSubtype::kBeacon;
+  EXPECT_EQ(beacon.SerializedSize(), 24u);
+}
+
+TEST(Frames, CtsAckRoundTrip) {
+  MacHeader ack;
+  ack.type = FrameType::kControl;
+  ack.subtype = FrameSubtype::kAck;
+  ack.addr1 = MacAddress::FromId(9);
+  std::vector<uint8_t> wire;
+  ack.Serialize(wire);
+  EXPECT_EQ(wire.size(), 10u);
+  auto parsed = MacHeader::Deserialize(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->IsCtl(FrameSubtype::kAck));
+  EXPECT_EQ(parsed->addr1, MacAddress::FromId(9));
+}
+
+TEST(Frames, MpduBuildParseRoundTrip) {
+  MacHeader h;
+  h.type = FrameType::kData;
+  h.addr1 = MacAddress::FromId(1);
+  h.addr2 = MacAddress::FromId(2);
+  h.addr3 = MacAddress::FromId(3);
+  const std::vector<uint8_t> body = {10, 20, 30, 40, 50};
+  PacketMeta meta;
+  meta.flow_id = 77;
+  Packet mpdu = BuildMpdu(h, body, meta);
+  EXPECT_EQ(mpdu.size(), 24 + 5 + 4u);
+  EXPECT_EQ(mpdu.meta().flow_id, 77u);
+
+  auto parsed = ParseMpdu(mpdu);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->addr2, MacAddress::FromId(2));
+  EXPECT_EQ(mpdu.size(), 5u);
+  EXPECT_EQ(mpdu.bytes()[0], 10);
+  EXPECT_EQ(mpdu.bytes()[4], 50);
+}
+
+TEST(Frames, CorruptedFcsRejected) {
+  MacHeader h;
+  h.type = FrameType::kData;
+  const std::vector<uint8_t> body(64, 0x7E);
+  Packet mpdu = BuildMpdu(h, body);
+  // Flip one payload bit: the FCS check must fail.
+  mpdu.mutable_bytes()[30] ^= 0x10;
+  EXPECT_FALSE(ParseMpdu(mpdu).has_value());
+}
+
+TEST(Frames, TruncatedFrameRejected) {
+  Packet tiny(std::vector<uint8_t>{1, 2, 3});
+  EXPECT_FALSE(ParseMpdu(tiny).has_value());
+}
+
+TEST(Frames, BeaconBodyRoundTrip) {
+  BeaconBody b;
+  b.timestamp_us = 123456789;
+  b.beacon_interval_tu = 100;
+  b.ssid = "corp-net";
+  b.channel = 11;
+  const auto wire = b.Serialize();
+  auto parsed = BeaconBody::Deserialize(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->timestamp_us, 123456789u);
+  EXPECT_EQ(parsed->ssid, "corp-net");
+  EXPECT_EQ(parsed->channel, 11);
+}
+
+TEST(Frames, AssocBodiesRoundTrip) {
+  AssocRequestBody req;
+  req.ssid = "x";
+  auto parsed_req = AssocRequestBody::Deserialize(req.Serialize());
+  ASSERT_TRUE(parsed_req.has_value());
+  EXPECT_EQ(parsed_req->ssid, "x");
+
+  AssocResponseBody resp;
+  resp.status = 0;
+  resp.aid = 7;
+  auto parsed_resp = AssocResponseBody::Deserialize(resp.Serialize());
+  ASSERT_TRUE(parsed_resp.has_value());
+  EXPECT_EQ(parsed_resp->aid, 7);
+
+  AuthBody auth;
+  auth.sequence = 2;
+  auto parsed_auth = AuthBody::Deserialize(auth.Serialize());
+  ASSERT_TRUE(parsed_auth.has_value());
+  EXPECT_EQ(parsed_auth->sequence, 2);
+}
+
+TEST(Frames, SequenceNumberWraps) {
+  MacHeader h;
+  h.type = FrameType::kData;
+  h.sequence = 4095;
+  h.fragment = 15;
+  std::vector<uint8_t> wire;
+  h.Serialize(wire);
+  auto parsed = MacHeader::Deserialize(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->sequence, 4095);
+  EXPECT_EQ(parsed->fragment, 15);
+}
+
+// Property sweep: every (type, subtype, flag combo) round-trips.
+class HeaderFlagSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeaderFlagSweep, FlagsRoundTrip) {
+  const int bits = GetParam();
+  MacHeader h;
+  h.type = FrameType::kData;
+  h.to_ds = bits & 1;
+  h.from_ds = bits & 2;
+  h.more_fragments = bits & 4;
+  h.retry = bits & 8;
+  h.power_mgmt = bits & 16;
+  h.more_data = bits & 32;
+  h.protected_frame = bits & 64;
+  h.order = bits & 128;
+  std::vector<uint8_t> wire;
+  h.Serialize(wire);
+  auto parsed = MacHeader::Deserialize(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->to_ds, h.to_ds);
+  EXPECT_EQ(parsed->from_ds, h.from_ds);
+  EXPECT_EQ(parsed->more_fragments, h.more_fragments);
+  EXPECT_EQ(parsed->retry, h.retry);
+  EXPECT_EQ(parsed->power_mgmt, h.power_mgmt);
+  EXPECT_EQ(parsed->more_data, h.more_data);
+  EXPECT_EQ(parsed->protected_frame, h.protected_frame);
+  EXPECT_EQ(parsed->order, h.order);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFlagCombos, HeaderFlagSweep, ::testing::Range(0, 256));
+
+// --- MacQueue --------------------------------------------------------------------
+
+TEST(MacQueue, FifoOrder) {
+  MacQueue q(8);
+  for (uint32_t i = 0; i < 3; ++i) {
+    MacQueue::Item item;
+    item.msdu = Packet(i + 1);
+    q.Enqueue(std::move(item));
+  }
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.Dequeue()->msdu.size(), 1u);
+  EXPECT_EQ(q.Dequeue()->msdu.size(), 2u);
+  EXPECT_EQ(q.Dequeue()->msdu.size(), 3u);
+  EXPECT_FALSE(q.Dequeue().has_value());
+}
+
+TEST(MacQueue, DropTailWhenFull) {
+  MacQueue q(2);
+  EXPECT_TRUE(q.Enqueue({}));
+  EXPECT_TRUE(q.Enqueue({}));
+  EXPECT_FALSE(q.Enqueue({}));
+  EXPECT_EQ(q.drops(), 1u);
+}
+
+TEST(MacQueue, FrontEnqueueJumpsQueue) {
+  MacQueue q(8);
+  MacQueue::Item data;
+  data.msdu = Packet(100);
+  q.Enqueue(std::move(data));
+  MacQueue::Item mgmt;
+  mgmt.msdu = Packet(10);
+  mgmt.is_management = true;
+  q.EnqueueFront(std::move(mgmt));
+  EXPECT_TRUE(q.Dequeue()->is_management);
+}
+
+// --- ChannelAccessManager ----------------------------------------------------------
+
+ChannelAccessManager::Params BParams() {
+  const PhyTiming t = TimingFor(PhyStandard::k80211b);
+  ChannelAccessManager::Params p;
+  p.slot = t.slot;
+  p.sifs = t.sifs;
+  p.difs = t.Difs();
+  p.eifs = t.Eifs(AckDuration(BaseModeFor(PhyStandard::k80211b)));
+  p.cw_min = t.cw_min;
+  p.cw_max = t.cw_max;
+  return p;
+}
+
+TEST(ChannelAccess, GrantAfterDifsPlusBackoffOnIdleMedium) {
+  Simulator sim;
+  ChannelAccessManager cam(&sim, BParams(), Rng(1));
+  Time granted_at = Time::Zero();
+  cam.SetAccessGrantedCallback([&] { granted_at = sim.Now(); });
+  sim.Schedule(Time::Zero(), [&] { cam.RequestAccess(); });
+  sim.Run();
+  const auto slots = cam.last_backoff_slots();
+  EXPECT_EQ(granted_at, BParams().difs + BParams().slot * static_cast<int64_t>(slots));
+}
+
+TEST(ChannelAccess, BackoffWithinWindow) {
+  Simulator sim;
+  ChannelAccessManager cam(&sim, BParams(), Rng(2));
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint32_t draw = cam.DrawBackoffSlots(31);
+    EXPECT_LE(draw, 31u);
+  }
+}
+
+TEST(ChannelAccess, BackoffUniformity) {
+  Simulator sim;
+  ChannelAccessManager cam(&sim, BParams(), Rng(3));
+  std::vector<int> counts(32, 0);
+  for (int trial = 0; trial < 32000; ++trial) {
+    ++counts[cam.DrawBackoffSlots(31)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 1000, 150);
+  }
+}
+
+TEST(ChannelAccess, BusyMediumDefersGrant) {
+  Simulator sim;
+  ChannelAccessManager cam(&sim, BParams(), Rng(4));
+  Time granted_at = Time::Zero();
+  cam.SetAccessGrantedCallback([&] { granted_at = sim.Now(); });
+  // Medium busy [0, 1000 us); request arrives at 100 us.
+  sim.Schedule(Time::Zero(), [&] { cam.NotifyRxStart(Time::Micros(1000)); });
+  sim.Schedule(Time::Micros(100), [&] { cam.RequestAccess(); });
+  sim.Schedule(Time::Micros(1000), [&] { cam.NotifyRxEnd(true); });
+  sim.Run();
+  const Time expected = Time::Micros(1000) + BParams().difs +
+                        BParams().slot * static_cast<int64_t>(cam.last_backoff_slots());
+  EXPECT_EQ(granted_at, expected);
+}
+
+TEST(ChannelAccess, NavDefersLikePhysicalBusy) {
+  Simulator sim;
+  ChannelAccessManager cam(&sim, BParams(), Rng(5));
+  Time granted_at = Time::Zero();
+  cam.SetAccessGrantedCallback([&] { granted_at = sim.Now(); });
+  sim.Schedule(Time::Zero(), [&] {
+    cam.UpdateNav(Time::Millis(2));
+    cam.RequestAccess();
+  });
+  sim.Run();
+  EXPECT_GE(granted_at, Time::Millis(2) + BParams().difs);
+}
+
+TEST(ChannelAccess, EifsAfterCorruptReception) {
+  Simulator sim;
+  ChannelAccessManager cam(&sim, BParams(), Rng(6));
+  Time granted_at = Time::Zero();
+  cam.SetAccessGrantedCallback([&] { granted_at = sim.Now(); });
+  sim.Schedule(Time::Zero(), [&] { cam.NotifyRxStart(Time::Micros(500)); });
+  sim.Schedule(Time::Micros(500), [&] {
+    cam.NotifyRxEnd(false);  // corrupt
+    cam.RequestAccess();
+  });
+  sim.Run();
+  const Time eifs_grant = Time::Micros(500) + BParams().eifs +
+                          BParams().slot * static_cast<int64_t>(cam.last_backoff_slots());
+  EXPECT_EQ(granted_at, eifs_grant);
+  EXPECT_GT(BParams().eifs, BParams().difs);  // sanity: EIFS really is longer
+}
+
+TEST(ChannelAccess, BackoffFreezesDuringBusy) {
+  Simulator sim;
+  ChannelAccessManager cam(&sim, BParams(), Rng(8));
+  Time granted_at = Time::Zero();
+  cam.SetAccessGrantedCallback([&] { granted_at = sim.Now(); });
+  sim.Schedule(Time::Zero(), [&] { cam.RequestAccess(); });
+  sim.Run();
+  const uint32_t slots = cam.last_backoff_slots();
+  if (slots < 3) {
+    GTEST_SKIP() << "draw too small to interrupt meaningfully";
+  }
+  // Re-run the same scenario with an interruption midway through backoff.
+  Simulator sim2;
+  ChannelAccessManager cam2(&sim2, BParams(), Rng(8));  // same seed → same draw
+  Time granted2 = Time::Zero();
+  cam2.SetAccessGrantedCallback([&] { granted2 = sim2.Now(); });
+  sim2.Schedule(Time::Zero(), [&] { cam2.RequestAccess(); });
+  // Interrupt after DIFS + 2 slots for 300 us.
+  const Time interrupt_at = BParams().difs + BParams().slot * 2;
+  sim2.ScheduleAt(interrupt_at, [&] { cam2.NotifyCcaBusyStart(Time::Micros(300)); });
+  sim2.Run();
+  // Two slots were consumed before the interruption; the rest resume after
+  // busy + DIFS.
+  const Time expected = interrupt_at + Time::Micros(300) + BParams().difs +
+                        BParams().slot * static_cast<int64_t>(slots - 2);
+  EXPECT_EQ(granted2, expected);
+  EXPECT_GT(granted2, granted_at);
+}
+
+TEST(ChannelAccess, SecondRequestIsNoOp) {
+  Simulator sim;
+  ChannelAccessManager cam(&sim, BParams(), Rng(9));
+  int grants = 0;
+  cam.SetAccessGrantedCallback([&] { ++grants; });
+  sim.Schedule(Time::Zero(), [&] {
+    cam.RequestAccess();
+    cam.RequestAccess();
+  });
+  sim.Run();
+  EXPECT_EQ(grants, 1);
+}
+
+}  // namespace
+}  // namespace wlansim

@@ -1,0 +1,150 @@
+// Net-layer tests: Network assembly, deterministic reproducibility, traffic
+// generator statistics (CBR exactness, Poisson mean, on-off duty cycle),
+// and the saturated source's queue-keeping contract.
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace wlansim {
+namespace {
+
+TEST(Network, NodeIdsAndAddressesAreSequential) {
+  Network net;
+  Node* a = net.AddNode({});
+  Node* b = net.AddNode({});
+  EXPECT_EQ(a->id(), 0u);
+  EXPECT_EQ(b->id(), 1u);
+  EXPECT_NE(a->address(), b->address());
+  EXPECT_EQ(a->address(), MacAddress::FromId(1));
+}
+
+TEST(Network, IdenticalSeedsReproduceIdenticalRuns) {
+  auto run = [](uint64_t seed) {
+    Network net(Network::Params{.seed = seed});
+    net.UseLogDistanceLoss(3.0);
+    net.UseRayleighFading();
+    Node* ap = net.AddNode({.role = MacRole::kAp, .standard = PhyStandard::k80211a});
+    Node* sta = net.AddNode(
+        {.role = MacRole::kSta, .standard = PhyStandard::k80211a, .position = {40, 0, 0}});
+    net.StartAll();
+    sta->AddTraffic<SaturatedTraffic>(ap->address(), 1, 1200)->Start(Time::Seconds(1));
+    net.Run(Time::Seconds(3));
+    return std::tuple{net.flow_stats().TotalRxBytes(), net.flow_stats().TotalRxPackets(),
+                      sta->mac().counters().retries};
+  };
+  EXPECT_EQ(run(123), run(123));
+  EXPECT_NE(std::get<0>(run(123)), std::get<0>(run(124)));
+}
+
+TEST(Network, ForkRngIsStableAcrossCalls) {
+  Network net(Network::Params{.seed = 9});
+  Rng a = net.ForkRng("x");
+  Rng b = net.ForkRng("x");
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Traffic, CbrGeneratesExactCount) {
+  Network net(Network::Params{.seed = 1});
+  net.UseLogDistanceLoss(3.0);
+  Node* a = net.AddNode({});
+  Node* b = net.AddNode({.position = {10, 0, 0}});
+  net.StartAll();
+  auto* app = a->AddTraffic<CbrTraffic>(b->address(), 1, 100, Time::Millis(10));
+  app->Start(Time::Seconds(1));
+  app->StopAt(Time::Seconds(2));
+  net.Run(Time::Seconds(3));
+  // One packet every 10 ms over [1 s, 2 s): 100 packets (first at t=1).
+  EXPECT_EQ(app->packets_sent(), 100u);
+}
+
+TEST(Traffic, PoissonMeanRateIsCorrect) {
+  Network net(Network::Params{.seed = 2});
+  net.UseLogDistanceLoss(3.0);
+  Node* a = net.AddNode({});
+  Node* b = net.AddNode({.position = {10, 0, 0}});
+  net.StartAll();
+  auto* app = a->AddTraffic<PoissonTraffic>(b->address(), 1, 100, 200.0, net.ForkRng("p"));
+  app->Start(Time::Seconds(1));
+  app->StopAt(Time::Seconds(21));
+  net.Run(Time::Seconds(22));
+  // 200 pkt/s over 20 s = 4000 expected; 3-sigma ≈ 190.
+  EXPECT_NEAR(static_cast<double>(app->packets_sent()), 4000.0, 200.0);
+}
+
+TEST(Traffic, OnOffDutyCycleShapesThroughput) {
+  Network net(Network::Params{.seed = 3});
+  net.UseLogDistanceLoss(3.0);
+  Node* a = net.AddNode({});
+  Node* b = net.AddNode({.position = {10, 0, 0}});
+  a->SetRateController(
+      std::make_unique<FixedRateController>(ModesFor(PhyStandard::k80211b).back()));
+  net.StartAll();
+  // 1 packet per 2 ms while ON; mean ON 200 ms, mean OFF 600 ms → 25 % duty.
+  auto* app = a->AddTraffic<OnOffTraffic>(b->address(), 1, 200, Time::Millis(2),
+                                          Time::Millis(200), Time::Millis(600),
+                                          net.ForkRng("oo"));
+  app->Start(Time::Seconds(1));
+  app->StopAt(Time::Seconds(21));
+  net.Run(Time::Seconds(22));
+  // Expected ≈ 20 s × 25 % duty × 500 pkt/s = 2500, with wide burst variance.
+  EXPECT_NEAR(static_cast<double>(app->packets_sent()), 2500.0, 900.0);
+}
+
+TEST(Traffic, SaturatedKeepsQueueTopped) {
+  Network net(Network::Params{.seed = 4});
+  net.UseLogDistanceLoss(3.0);
+  Node* ap = net.AddNode({.role = MacRole::kAp, .standard = PhyStandard::k80211b});
+  Node* sta = net.AddNode(
+      {.role = MacRole::kSta, .standard = PhyStandard::k80211b, .position = {10, 0, 0}});
+  net.StartAll();
+  auto* app = sta->AddTraffic<SaturatedTraffic>(ap->address(), 1, 500);
+  app->Start(Time::Seconds(1));
+  net.Run(Time::Seconds(2));
+  // Mid-run the MAC queue must hold the configured backlog.
+  EXPECT_GE(sta->mac().QueueSize(), 3u);
+  net.Run(Time::Seconds(3));
+  EXPECT_GT(ap->packets_received(), 100u);
+}
+
+TEST(Traffic, StopAtHaltsGeneration) {
+  Network net(Network::Params{.seed = 5});
+  net.UseLogDistanceLoss(3.0);
+  Node* a = net.AddNode({});
+  Node* b = net.AddNode({.position = {10, 0, 0}});
+  net.StartAll();
+  auto* app = a->AddTraffic<CbrTraffic>(b->address(), 1, 100, Time::Millis(5));
+  app->Start(Time::Millis(100));
+  app->StopAt(Time::Millis(500));
+  net.Run(Time::Seconds(2));
+  const uint64_t at_stop = app->packets_sent();
+  net.Run(Time::Seconds(3));
+  EXPECT_EQ(app->packets_sent(), at_stop);
+}
+
+TEST(Traffic, MetaStampsAreConsistent) {
+  Network net(Network::Params{.seed = 6});
+  net.UseLogDistanceLoss(3.0);
+  Node* a = net.AddNode({});
+  Node* b = net.AddNode({.position = {10, 0, 0}});
+  uint32_t last_seq = 0;
+  bool first = true;
+  bool ordered = true;
+  b->SetRxCallback([&](const Packet& p, MacAddress, MacAddress) {
+    EXPECT_EQ(p.meta().flow_id, 7u);
+    if (!first && p.meta().app_seq != last_seq + 1) {
+      ordered = false;
+    }
+    last_seq = p.meta().app_seq;
+    first = false;
+  });
+  net.StartAll();
+  auto* app = a->AddTraffic<CbrTraffic>(b->address(), 7, 64, Time::Millis(20));
+  app->Start(Time::Millis(100));
+  net.Run(Time::Seconds(2));
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(ordered);  // clean channel: in-order, no duplicates
+}
+
+}  // namespace
+}  // namespace wlansim

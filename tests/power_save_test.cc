@@ -1,0 +1,152 @@
+// Power-save tests: PHY sleep accounting, AP-side buffering + TIM, PS-Poll
+// delivery, wake-for-uplink, and the energy/latency trade measured end to
+// end.
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace wlansim {
+namespace {
+
+struct PsFixture {
+  Network net{Network::Params{.seed = 91}};
+  Node* ap;
+  Node* sta;
+
+  explicit PsFixture(bool power_save, uint8_t listen_interval = 1) {
+    net.UseLogDistanceLoss(3.0);
+    ap = net.AddNode({.role = MacRole::kAp, .standard = PhyStandard::k80211b, .ssid = "ps"});
+    sta = net.AddNode({.role = MacRole::kSta,
+                       .standard = PhyStandard::k80211b,
+                       .ssid = "ps",
+                       .position = {10, 0, 0},
+                       .mac_tweak = [power_save, listen_interval](WifiMac::Config& c) {
+                         c.power_save = power_save;
+                         c.listen_interval = listen_interval;
+                       }});
+    net.StartAll();
+  }
+};
+
+TEST(PowerSave, StationDozesBetweenBeacons) {
+  PsFixture f(true);
+  f.net.Run(Time::Seconds(5));
+  ASSERT_TRUE(f.sta->mac().IsAssociated());
+  const auto times = f.sta->phy().GetStateTimes(f.net.sim().Now());
+  // With a 100 TU beacon interval and a 2 ms wake guard, the radio should
+  // doze the vast majority of the time once associated.
+  EXPECT_GT(times.sleep.seconds(), 3.5);
+  EXPECT_LT(times.listen.seconds(), 1.5);
+}
+
+TEST(PowerSave, WithoutPsRadioNeverSleeps) {
+  PsFixture f(false);
+  f.net.Run(Time::Seconds(5));
+  const auto times = f.sta->phy().GetStateTimes(f.net.sim().Now());
+  EXPECT_EQ(times.sleep, Time::Zero());
+}
+
+TEST(PowerSave, DownlinkDeliveredViaTimAndPsPoll) {
+  PsFixture f(true);
+  // Let association + PS entry settle, then push 20 downlink packets.
+  auto* app = f.ap->AddTraffic<CbrTraffic>(f.sta->address(), 1, 400, Time::Millis(150));
+  app->Start(Time::Seconds(1));
+  f.net.Run(Time::Seconds(6));
+
+  // Frames were buffered (not delivered while dozing) and then fetched.
+  EXPECT_GT(f.ap->mac().counters().ps_buffered, 10u);
+  EXPECT_GT(f.sta->mac().counters().ps_polls, 10u);
+  EXPECT_GT(f.sta->packets_received(), 20u);
+  EXPECT_LT(f.net.flow_stats().LossRate(1), 0.05);
+}
+
+TEST(PowerSave, DeliveryLatencyIsBoundedByBeaconInterval) {
+  PsFixture f(true);
+  auto* app = f.ap->AddTraffic<CbrTraffic>(f.sta->address(), 1, 400, Time::Millis(300));
+  app->Start(Time::Seconds(1));
+  f.net.Run(Time::Seconds(6));
+  const auto* flow = f.net.flow_stats().Find(1);
+  ASSERT_NE(flow, nullptr);
+  // Mean delay ≈ half the 102.4 ms beacon interval; max bounded by ~1.5
+  // intervals (worst-case TIM miss + poll).
+  EXPECT_GT(flow->delay_us.mean(), 20'000.0);
+  EXPECT_LT(flow->delay_us.mean(), 110'000.0);
+  EXPECT_LT(flow->delay_us.max(), 250'000.0);
+}
+
+TEST(PowerSave, ListenIntervalScalesSleepAndDelay) {
+  PsFixture f1(true, 1);
+  auto* a1 = f1.ap->AddTraffic<CbrTraffic>(f1.sta->address(), 1, 400, Time::Millis(300));
+  a1->Start(Time::Seconds(1));
+  f1.net.Run(Time::Seconds(6));
+
+  PsFixture f3(true, 3);
+  auto* a3 = f3.ap->AddTraffic<CbrTraffic>(f3.sta->address(), 1, 400, Time::Millis(300));
+  a3->Start(Time::Seconds(1));
+  f3.net.Run(Time::Seconds(6));
+
+  const auto t1 = f1.sta->phy().GetStateTimes(f1.net.sim().Now());
+  const auto t3 = f3.sta->phy().GetStateTimes(f3.net.sim().Now());
+  EXPECT_GT(t3.sleep, t1.sleep);  // waking 3× less often sleeps more
+
+  const auto* d1 = f1.net.flow_stats().Find(1);
+  const auto* d3 = f3.net.flow_stats().Find(1);
+  ASSERT_NE(d1, nullptr);
+  ASSERT_NE(d3, nullptr);
+  EXPECT_GT(d3->delay_us.mean(), 1.5 * d1->delay_us.mean());
+}
+
+TEST(PowerSave, UplinkTrafficWakesRadio) {
+  PsFixture f(true);
+  auto* app = f.sta->AddTraffic<CbrTraffic>(f.ap->address(), 2, 300, Time::Millis(100));
+  app->Start(Time::Seconds(2));
+  f.net.Run(Time::Seconds(5));
+  // Uplink flows despite power save.
+  EXPECT_GT(f.ap->packets_received(), 25u);
+  EXPECT_LT(f.net.flow_stats().LossRate(2), 0.05);
+}
+
+TEST(PowerSave, EnergySavingIsLarge) {
+  PsFixture with(true);
+  auto* a1 = with.ap->AddTraffic<CbrTraffic>(with.sta->address(), 1, 400, Time::Millis(200));
+  a1->Start(Time::Seconds(1));
+  with.net.Run(Time::Seconds(6));
+
+  PsFixture without(false);
+  auto* a2 = without.ap->AddTraffic<CbrTraffic>(without.sta->address(), 1, 400,
+                                                Time::Millis(200));
+  a2->Start(Time::Seconds(1));
+  without.net.Run(Time::Seconds(6));
+
+  const double joules_ps =
+      with.sta->phy().GetStateTimes(with.net.sim().Now()).EnergyJoules();
+  const double joules_cam =
+      without.sta->phy().GetStateTimes(without.net.sim().Now()).EnergyJoules();
+  // The idle-listening tax dominates: PS should cut station energy by >2×.
+  EXPECT_LT(joules_ps, joules_cam / 2.0);
+  // Both delivered the traffic.
+  EXPECT_GT(with.sta->packets_received(), 20u);
+  EXPECT_GT(without.sta->packets_received(), 20u);
+}
+
+TEST(PowerSave, PhySleepStateMachine) {
+  Simulator sim;
+  Channel channel{&sim, std::make_unique<LogDistanceLossModel>(3.0), Rng(1)};
+  ConstantPositionMobility pos{{0, 0, 0}};
+  WifiPhy phy{&sim, {}, Rng(2)};
+  phy.AttachChannel(&channel, 0, &pos);
+
+  sim.Schedule(Time::Millis(10), [&] { phy.SetSleep(true); });
+  sim.Schedule(Time::Millis(30), [&] { phy.SetSleep(false); });
+  sim.RunUntil(Time::Millis(40));
+
+  const auto times = phy.GetStateTimes(sim.Now());
+  EXPECT_NEAR(times.sleep.millis(), 20.0, 0.001);
+  EXPECT_NEAR(times.listen.millis(), 20.0, 0.001);
+  EXPECT_EQ(times.tx, Time::Zero());
+  EXPECT_FALSE(phy.IsAsleep());
+}
+
+}  // namespace
+}  // namespace wlansim

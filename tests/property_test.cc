@@ -1,0 +1,248 @@
+// Property-based sweeps (parameterized gtest): invariants that must hold
+// across the whole parameter space, not just hand-picked cases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/random.h"
+#include "crypto/cipher_suite.h"
+#include "mac/frames.h"
+#include "phy/error_model.h"
+#include "phy/wifi_mode.h"
+
+namespace wlansim {
+namespace {
+
+// --- Duration properties over (standard × mode × size) --------------------------
+
+class DurationSweep
+    : public ::testing::TestWithParam<std::tuple<PhyStandard, size_t /*mode idx*/>> {};
+
+TEST_P(DurationSweep, DurationDecomposesIntoPreamblePlusPayload) {
+  const auto [standard, mode_idx] = GetParam();
+  const auto modes = ModesFor(standard);
+  if (mode_idx >= modes.size()) {
+    GTEST_SKIP();
+  }
+  const WifiMode& mode = modes[mode_idx];
+  for (size_t bytes : {0u, 1u, 13u, 64u, 256u, 1000u, 1500u, 2304u}) {
+    const Time full = FrameDuration(mode, bytes);
+    const Time payload = PayloadDuration(mode, bytes);
+    const Time preamble = full - payload;
+    EXPECT_GT(preamble, Time::Zero()) << mode.name;
+    // The preamble does not depend on the payload size.
+    EXPECT_EQ(preamble, FrameDuration(mode, 0) - PayloadDuration(mode, 0)) << mode.name;
+  }
+}
+
+TEST_P(DurationSweep, DurationStrictlyMonotoneInSizeModuloSymbolQuantization) {
+  const auto [standard, mode_idx] = GetParam();
+  const auto modes = ModesFor(standard);
+  if (mode_idx >= modes.size()) {
+    GTEST_SKIP();
+  }
+  const WifiMode& mode = modes[mode_idx];
+  Time prev = FrameDuration(mode, 0);
+  for (size_t bytes = 1; bytes <= 2304; bytes += 7) {
+    const Time d = FrameDuration(mode, bytes);
+    EXPECT_GE(d, prev) << mode.name << " at " << bytes;
+    prev = d;
+  }
+}
+
+TEST_P(DurationSweep, AirtimeTracksNominalRate) {
+  const auto [standard, mode_idx] = GetParam();
+  const auto modes = ModesFor(standard);
+  if (mode_idx >= modes.size()) {
+    GTEST_SKIP();
+  }
+  const WifiMode& mode = modes[mode_idx];
+  // For a large frame, payload airtime must be within 2 % of bits/rate
+  // (OFDM adds ≤ one symbol of quantization + 22 service/tail bits).
+  constexpr size_t kBytes = 2000;
+  const double expect_s = 8.0 * kBytes / mode.bit_rate_bps;
+  EXPECT_NEAR(PayloadDuration(mode, kBytes).seconds(), expect_s, 0.02 * expect_s) << mode.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, DurationSweep,
+    ::testing::Combine(::testing::Values(PhyStandard::k80211, PhyStandard::k80211b,
+                                         PhyStandard::k80211a, PhyStandard::k80211g),
+                       ::testing::Range<size_t>(0, 8)),
+    [](const auto& info) {
+      return ToString(std::get<0>(info.param)).substr(4) + "_mode" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- Error model properties -----------------------------------------------------
+
+class ErrorModelSweep : public ::testing::TestWithParam<std::tuple<PhyStandard, size_t>> {};
+
+TEST_P(ErrorModelSweep, PerMonotoneInBothSnrAndLength) {
+  const auto [standard, mode_idx] = GetParam();
+  const auto modes = ModesFor(standard);
+  if (mode_idx >= modes.size()) {
+    GTEST_SKIP();
+  }
+  const WifiMode& mode = modes[mode_idx];
+  DefaultErrorRateModel model;
+  for (double snr_db = -4; snr_db <= 32; snr_db += 2) {
+    const double snr = std::pow(10.0, snr_db / 10.0);
+    double prev = 1.0;
+    for (uint64_t bits : {80u, 800u, 8000u, 16000u}) {
+      const double p = model.ChunkSuccessProbability(mode, snr, bits);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      EXPECT_LE(p, prev + 1e-12) << mode.name << " snr=" << snr_db << " bits=" << bits;
+      prev = p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ErrorModelSweep,
+    ::testing::Combine(::testing::Values(PhyStandard::k80211b, PhyStandard::k80211a),
+                       ::testing::Range<size_t>(0, 8)),
+    [](const auto& info) {
+      return ToString(std::get<0>(info.param)).substr(4) + "_mode" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- Frame codec fuzz -------------------------------------------------------------
+
+TEST(FrameCodecFuzz, RandomHeadersAlwaysRoundTrip) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 2000; ++trial) {
+    MacHeader h;
+    h.type = FrameType::kData;
+    h.to_ds = rng.Chance(0.5);
+    h.from_ds = rng.Chance(0.5);
+    h.more_fragments = rng.Chance(0.5);
+    h.retry = rng.Chance(0.5);
+    h.power_mgmt = rng.Chance(0.5);
+    h.more_data = rng.Chance(0.5);
+    h.protected_frame = rng.Chance(0.5);
+    h.duration_us = static_cast<uint16_t>(rng.UniformInt(0, 0x7FFF));
+    h.addr1 = MacAddress::FromId(static_cast<uint32_t>(rng.UniformInt(0, 1 << 20)));
+    h.addr2 = MacAddress::FromId(static_cast<uint32_t>(rng.UniformInt(0, 1 << 20)));
+    h.addr3 = MacAddress::FromId(static_cast<uint32_t>(rng.UniformInt(0, 1 << 20)));
+    h.sequence = static_cast<uint16_t>(rng.UniformInt(0, 4095));
+    h.fragment = static_cast<uint8_t>(rng.UniformInt(0, 15));
+
+    std::vector<uint8_t> body(static_cast<size_t>(rng.UniformInt(0, 2304)));
+    for (auto& b : body) {
+      b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    }
+    Packet mpdu = BuildMpdu(h, body);
+    auto parsed = ParseMpdu(mpdu);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->duration_us, h.duration_us);
+    EXPECT_EQ(parsed->addr1, h.addr1);
+    EXPECT_EQ(parsed->addr2, h.addr2);
+    EXPECT_EQ(parsed->addr3, h.addr3);
+    EXPECT_EQ(parsed->sequence, h.sequence);
+    EXPECT_EQ(parsed->fragment, h.fragment);
+    EXPECT_EQ(mpdu.size(), body.size());
+    EXPECT_TRUE(std::equal(body.begin(), body.end(), mpdu.bytes().begin()));
+  }
+}
+
+TEST(FrameCodecFuzz, RandomBitFlipsAreAlwaysDetected) {
+  // The FCS must catch every single-bit corruption (CRC-32 guarantees
+  // detection of all 1-3 bit errors at these lengths).
+  Rng rng(77);
+  MacHeader h;
+  h.type = FrameType::kData;
+  h.addr1 = MacAddress::FromId(1);
+  h.addr2 = MacAddress::FromId(2);
+  h.addr3 = MacAddress::FromId(3);
+  std::vector<uint8_t> body(500, 0xA5);
+  for (int trial = 0; trial < 500; ++trial) {
+    Packet mpdu = BuildMpdu(h, body);
+    auto bytes = mpdu.mutable_bytes();
+    const auto byte_idx = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
+    const auto bit = static_cast<uint8_t>(1u << rng.UniformInt(0, 7));
+    bytes[byte_idx] ^= bit;
+    EXPECT_FALSE(ParseMpdu(mpdu).has_value()) << "undetected flip at byte " << byte_idx;
+  }
+}
+
+// --- Cipher fuzz across suites ------------------------------------------------------
+
+class CipherFuzz : public ::testing::TestWithParam<CipherSuite> {};
+
+TEST_P(CipherFuzz, ThousandRandomRoundTrips) {
+  const CipherSuite suite = GetParam();
+  std::vector<uint8_t> key(suite == CipherSuite::kWep ? 13 : 16, 0x3C);
+  auto tx = CreateCipher(suite, key);
+  auto rx = CreateCipher(suite, key);
+  FrameCryptoContext ctx;
+  ctx.ta = MacAddress::FromId(5);
+  ctx.da = MacAddress::FromId(6);
+  ctx.sa = MacAddress::FromId(5);
+  Rng rng(31337);
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<uint8_t> body(static_cast<size_t>(rng.UniformInt(1, 2000)));
+    for (auto& b : body) {
+      b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    }
+    auto original = body;
+    ctx.priority = static_cast<uint8_t>(rng.UniformInt(0, 7));
+    tx->Protect(ctx, body);
+    ASSERT_TRUE(rx->Unprotect(ctx, body)) << ToString(suite) << " packet " << i;
+    ASSERT_EQ(body, original) << ToString(suite) << " packet " << i;
+  }
+}
+
+TEST_P(CipherFuzz, RandomTamperAlwaysDetected) {
+  const CipherSuite suite = GetParam();
+  if (suite == CipherSuite::kOpen) {
+    GTEST_SKIP() << "open has no integrity protection";
+  }
+  std::vector<uint8_t> key(suite == CipherSuite::kWep ? 13 : 16, 0x3C);
+  auto tx = CreateCipher(suite, key);
+  auto rx = CreateCipher(suite, key);
+  FrameCryptoContext ctx;
+  ctx.ta = MacAddress::FromId(5);
+  ctx.da = MacAddress::FromId(6);
+  ctx.sa = MacAddress::FromId(5);
+  Rng rng(999);
+  // Flips inside the integrity-protected region (ciphertext + MIC/ICV) must
+  // always be detected. The cipher *header* (IV key-id byte, CCMP reserved
+  // byte) is famously NOT integrity-protected — asserted separately below.
+  const size_t protected_start = CipherHeaderBytes(suite);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<uint8_t> body(128, 0x11);
+    tx->Protect(ctx, body);
+    const auto idx = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(protected_start),
+                       static_cast<int64_t>(body.size()) - 1));
+    body[idx] ^= static_cast<uint8_t>(1u << rng.UniformInt(0, 7));
+    EXPECT_FALSE(rx->Unprotect(ctx, body)) << ToString(suite) << " flip at " << idx;
+  }
+}
+
+TEST(CipherHeaderMalleability, WepKeyIdByteIsUnprotected) {
+  // Historical accuracy check: the WEP ICV covers only the payload, so the
+  // key-id byte of the 4-byte IV header is malleable — one of the protocol's
+  // documented weaknesses.
+  auto tx = CreateCipher(CipherSuite::kWep, std::vector<uint8_t>(13, 0x3C));
+  auto rx = CreateCipher(CipherSuite::kWep, std::vector<uint8_t>(13, 0x3C));
+  FrameCryptoContext ctx;
+  std::vector<uint8_t> body(64, 0x22);
+  const auto original = body;
+  tx->Protect(ctx, body);
+  body[3] ^= 0x01;  // key-id byte
+  EXPECT_TRUE(rx->Unprotect(ctx, body));
+  EXPECT_EQ(body, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSuites, CipherFuzz,
+                         ::testing::Values(CipherSuite::kOpen, CipherSuite::kWep,
+                                           CipherSuite::kTkip, CipherSuite::kCcmp),
+                         [](const auto& info) { return ToString(info.param); });
+
+}  // namespace
+}  // namespace wlansim

@@ -1,0 +1,354 @@
+// Rate-adaptation algorithm tests: each controller's decision rules are
+// exercised with deterministic feedback sequences, plus a behavioural
+// comparison on a simulated lossy feedback channel.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "rate/arf.h"
+#include "rate/minstrel.h"
+#include "rate/onoe.h"
+#include "rate/rate_controller.h"
+#include "rate/sample_rate.h"
+
+namespace wlansim {
+namespace {
+
+const MacAddress kPeer = MacAddress::FromId(42);
+
+size_t IndexOf(PhyStandard standard, const WifiMode& mode) {
+  const auto modes = ModesFor(standard);
+  for (size_t i = 0; i < modes.size(); ++i) {
+    if (modes[i] == mode) {
+      return i;
+    }
+  }
+  return SIZE_MAX;
+}
+
+// --- Fixed -----------------------------------------------------------------------
+
+TEST(FixedRate, AlwaysReturnsConfiguredMode) {
+  const WifiMode& m = ModesFor(PhyStandard::k80211a)[3];
+  FixedRateController fixed(m);
+  for (uint8_t retry = 0; retry < 5; ++retry) {
+    EXPECT_EQ(fixed.SelectMode(kPeer, 1000, retry), m);
+  }
+  EXPECT_EQ(fixed.name(), "fixed-OFDM-18");
+}
+
+// --- ARF -------------------------------------------------------------------------
+
+TEST(Arf, StartsAtLowestRate) {
+  ArfController arf(PhyStandard::k80211b);
+  EXPECT_EQ(arf.SelectMode(kPeer, 1000, 0).bit_rate_bps, 1'000'000u);
+}
+
+TEST(Arf, TenSuccessesStepUp) {
+  ArfController arf(PhyStandard::k80211b);
+  for (int i = 0; i < 10; ++i) {
+    arf.OnTxResult(kPeer, arf.SelectMode(kPeer, 1000, 0), true, Time::Zero());
+  }
+  EXPECT_EQ(arf.CurrentRateIndex(kPeer), 1u);
+}
+
+TEST(Arf, TwoFailuresStepDown) {
+  ArfController arf(PhyStandard::k80211b);
+  for (int i = 0; i < 20; ++i) {
+    arf.OnTxResult(kPeer, arf.SelectMode(kPeer, 1000, 0), true, Time::Zero());
+  }
+  const size_t before = arf.CurrentRateIndex(kPeer);
+  ASSERT_GE(before, 1u);
+  // A success after the climb clears the "just stepped up" probe state.
+  arf.OnTxResult(kPeer, arf.SelectMode(kPeer, 1000, 0), true, Time::Zero());
+  arf.OnTxResult(kPeer, arf.SelectMode(kPeer, 1000, 0), false, Time::Zero());
+  EXPECT_EQ(arf.CurrentRateIndex(kPeer), before);  // one failure: no change
+  arf.OnTxResult(kPeer, arf.SelectMode(kPeer, 1000, 0), false, Time::Zero());
+  EXPECT_EQ(arf.CurrentRateIndex(kPeer), before - 1);
+}
+
+TEST(Arf, FailedProbeFallsBackImmediately) {
+  ArfController arf(PhyStandard::k80211b);
+  for (int i = 0; i < 10; ++i) {
+    arf.OnTxResult(kPeer, arf.SelectMode(kPeer, 1000, 0), true, Time::Zero());
+  }
+  ASSERT_EQ(arf.CurrentRateIndex(kPeer), 1u);
+  // First frame at the new rate fails → immediate fallback.
+  arf.OnTxResult(kPeer, arf.SelectMode(kPeer, 1000, 0), false, Time::Zero());
+  EXPECT_EQ(arf.CurrentRateIndex(kPeer), 0u);
+}
+
+TEST(Arf, ClimbsToTopOnCleanChannel) {
+  ArfController arf(PhyStandard::k80211a);
+  for (int i = 0; i < 200; ++i) {
+    arf.OnTxResult(kPeer, arf.SelectMode(kPeer, 1000, 0), true, Time::Zero());
+  }
+  EXPECT_EQ(arf.CurrentRateIndex(kPeer), ModesFor(PhyStandard::k80211a).size() - 1);
+}
+
+TEST(Arf, PerDestinationIndependence) {
+  ArfController arf(PhyStandard::k80211b);
+  const MacAddress other = MacAddress::FromId(43);
+  for (int i = 0; i < 10; ++i) {
+    arf.OnTxResult(kPeer, arf.SelectMode(kPeer, 1000, 0), true, Time::Zero());
+  }
+  EXPECT_EQ(arf.CurrentRateIndex(kPeer), 1u);
+  EXPECT_EQ(arf.CurrentRateIndex(other), 0u);
+}
+
+// --- AARF ------------------------------------------------------------------------
+
+TEST(Aarf, FailedProbeDoublesThreshold) {
+  ArfController::Options opts;
+  opts.adaptive = true;
+  ArfController aarf(PhyStandard::k80211b, opts);
+
+  auto climb_and_fail_probe = [&] {
+    // Reach the probe, then fail it.
+    while (aarf.CurrentRateIndex(kPeer) == 0) {
+      aarf.OnTxResult(kPeer, aarf.SelectMode(kPeer, 1000, 0), true, Time::Zero());
+    }
+    aarf.OnTxResult(kPeer, aarf.SelectMode(kPeer, 1000, 0), false, Time::Zero());
+    EXPECT_EQ(aarf.CurrentRateIndex(kPeer), 0u);
+  };
+
+  // First climb needs 10 successes; after a failed probe the next needs 20.
+  int count1 = 0;
+  while (aarf.CurrentRateIndex(kPeer) == 0) {
+    aarf.OnTxResult(kPeer, aarf.SelectMode(kPeer, 1000, 0), true, Time::Zero());
+    ++count1;
+  }
+  EXPECT_EQ(count1, 10);
+  aarf.OnTxResult(kPeer, aarf.SelectMode(kPeer, 1000, 0), false, Time::Zero());
+
+  int count2 = 0;
+  while (aarf.CurrentRateIndex(kPeer) == 0) {
+    aarf.OnTxResult(kPeer, aarf.SelectMode(kPeer, 1000, 0), true, Time::Zero());
+    ++count2;
+  }
+  EXPECT_EQ(count2, 20);
+  (void)climb_and_fail_probe;
+}
+
+TEST(Aarf, NameReflectsVariant) {
+  ArfController::Options opts;
+  opts.adaptive = true;
+  EXPECT_EQ(ArfController(PhyStandard::k80211b, opts).name(), "aarf");
+  EXPECT_EQ(ArfController(PhyStandard::k80211b).name(), "arf");
+}
+
+// --- ONOE ------------------------------------------------------------------------
+
+TEST(Onoe, RaisesAfterTenCleanWindows) {
+  OnoeController::Options opts;
+  opts.window = Time::Millis(100);
+  OnoeController onoe(PhyStandard::k80211b, opts);
+  Time now = Time::Zero();
+  // 11 clean windows × 20 packets each, all successful.
+  for (int w = 0; w < 11; ++w) {
+    for (int i = 0; i < 20; ++i) {
+      onoe.OnTxResult(kPeer, onoe.SelectMode(kPeer, 1000, 0), true, now);
+    }
+    now += Time::Millis(101);
+    onoe.OnTxResult(kPeer, onoe.SelectMode(kPeer, 1000, 0), true, now);
+  }
+  EXPECT_EQ(onoe.SelectMode(kPeer, 1000, 0).bit_rate_bps, 2'000'000u);
+}
+
+TEST(Onoe, DropsOnHeavyFailureWindow) {
+  OnoeController::Options opts;
+  opts.window = Time::Millis(100);
+  OnoeController onoe(PhyStandard::k80211b, opts);
+  Time now = Time::Zero();
+  // Climb one step first.
+  for (int w = 0; w < 11; ++w) {
+    for (int i = 0; i < 20; ++i) {
+      onoe.OnTxResult(kPeer, onoe.SelectMode(kPeer, 1000, 0), true, now);
+    }
+    now += Time::Millis(101);
+    onoe.OnTxResult(kPeer, onoe.SelectMode(kPeer, 1000, 0), true, now);
+  }
+  ASSERT_EQ(onoe.SelectMode(kPeer, 1000, 0).bit_rate_bps, 2'000'000u);
+  // One disastrous window: 80 % failures.
+  for (int i = 0; i < 20; ++i) {
+    onoe.OnTxResult(kPeer, onoe.SelectMode(kPeer, 1000, 0), i % 5 == 0, now);
+  }
+  now += Time::Millis(101);
+  onoe.OnTxResult(kPeer, onoe.SelectMode(kPeer, 1000, 0), true, now);
+  EXPECT_EQ(onoe.SelectMode(kPeer, 1000, 0).bit_rate_bps, 1'000'000u);
+}
+
+TEST(Onoe, IsSlowerThanArf) {
+  // Both see the same perfect channel; ARF reaches the top long before ONOE
+  // moves at all — the defining qualitative difference.
+  ArfController arf(PhyStandard::k80211b);
+  OnoeController onoe(PhyStandard::k80211b);
+  Time now = Time::Zero();
+  for (int i = 0; i < 50; ++i) {
+    arf.OnTxResult(kPeer, arf.SelectMode(kPeer, 1000, 0), true, now);
+    onoe.OnTxResult(kPeer, onoe.SelectMode(kPeer, 1000, 0), true, now);
+    now += Time::Millis(1);
+  }
+  EXPECT_GT(arf.CurrentRateIndex(kPeer), 0u);
+  EXPECT_EQ(onoe.SelectMode(kPeer, 1000, 0).bit_rate_bps, 1'000'000u);
+}
+
+// --- SampleRate --------------------------------------------------------------------
+
+TEST(SampleRate, ConvergesToBestThroughputRate) {
+  SampleRateController sr(PhyStandard::k80211a, Rng(5));
+  Time now = Time::Zero();
+  // Simulated channel: rates up to 24 Mb/s always succeed, above always fail.
+  for (int i = 0; i < 3000; ++i) {
+    const WifiMode m = sr.SelectMode(kPeer, 1200, 0);
+    const bool ok = m.bit_rate_bps <= 24'000'000;
+    sr.OnTxResult(kPeer, m, ok, now);
+    now += Time::Micros(500);
+  }
+  // Decisions must now overwhelmingly pick 24 Mb/s (modulo the 10 % sampling).
+  int picks_24 = 0;
+  for (int i = 0; i < 200; ++i) {
+    const WifiMode m = sr.SelectMode(kPeer, 1200, 0);
+    picks_24 += m.bit_rate_bps == 24'000'000;
+    sr.OnTxResult(kPeer, m, m.bit_rate_bps <= 24'000'000, now);
+    now += Time::Micros(500);
+  }
+  EXPECT_GT(picks_24, 150);
+}
+
+TEST(SampleRate, RetriesNeverSample) {
+  SampleRateController sr(PhyStandard::k80211a, Rng(6));
+  Time now = Time::Zero();
+  for (int i = 0; i < 500; ++i) {
+    const WifiMode m = sr.SelectMode(kPeer, 1200, 0);
+    sr.OnTxResult(kPeer, m, m.bit_rate_bps <= 12'000'000, now);
+    now += Time::Micros(500);
+  }
+  // With retry_count > 0 the controller must return its best-known rate,
+  // deterministically.
+  const WifiMode r1 = sr.SelectMode(kPeer, 1200, 1);
+  const WifiMode r2 = sr.SelectMode(kPeer, 1200, 1);
+  EXPECT_EQ(r1, r2);
+  EXPECT_LE(r1.bit_rate_bps, 12'000'000u);
+}
+
+// --- Minstrel -----------------------------------------------------------------------
+
+TEST(Minstrel, ConvergesToBestThroughputRate) {
+  MinstrelController minstrel(PhyStandard::k80211a, Rng(7));
+  Time now = Time::Zero();
+  // 36 Mb/s succeeds 90 %, 48+ fails hard, lower rates always succeed.
+  Rng channel(123);
+  for (int i = 0; i < 5000; ++i) {
+    const WifiMode m = minstrel.SelectMode(kPeer, 1200, 0);
+    bool ok;
+    if (m.bit_rate_bps <= 24'000'000) {
+      ok = true;
+    } else if (m.bit_rate_bps == 36'000'000) {
+      ok = channel.Chance(0.9);
+    } else {
+      ok = channel.Chance(0.05);
+    }
+    minstrel.OnTxResult(kPeer, m, ok, now);
+    now += Time::Micros(400);
+  }
+  // 36 Mb/s at 90 % beats 24 Mb/s at 100 %: expected best.
+  EXPECT_EQ(ModesFor(PhyStandard::k80211a)[minstrel.BestRateIndex(kPeer)].bit_rate_bps,
+            36'000'000u);
+}
+
+TEST(Minstrel, RetryChainFallsBack) {
+  MinstrelController minstrel(PhyStandard::k80211a, Rng(8));
+  Time now = Time::Zero();
+  for (int i = 0; i < 1000; ++i) {
+    const WifiMode m = minstrel.SelectMode(kPeer, 1200, 0);
+    minstrel.OnTxResult(kPeer, m, true, now);
+    now += Time::Micros(400);
+  }
+  // Final fallback (retry >= 2) is always the most robust rate.
+  EXPECT_EQ(minstrel.SelectMode(kPeer, 1200, 2).bit_rate_bps, 6'000'000u);
+  EXPECT_EQ(minstrel.SelectMode(kPeer, 1200, 5).bit_rate_bps, 6'000'000u);
+}
+
+TEST(Minstrel, LookAroundProbesOtherRates) {
+  MinstrelController minstrel(PhyStandard::k80211a, Rng(9));
+  Time now = Time::Zero();
+  std::set<uint32_t> rates_seen;
+  for (int i = 0; i < 2000; ++i) {
+    const WifiMode m = minstrel.SelectMode(kPeer, 1200, 0);
+    rates_seen.insert(m.bit_rate_bps);
+    minstrel.OnTxResult(kPeer, m, true, now);
+    now += Time::Micros(400);
+  }
+  // Probing must have touched every rate eventually.
+  EXPECT_EQ(rates_seen.size(), ModesFor(PhyStandard::k80211a).size());
+}
+
+// --- Cross-controller behavioural property -------------------------------------------
+
+using ControllerFactory = std::function<std::unique_ptr<RateController>()>;
+
+class AllControllers : public ::testing::TestWithParam<int> {
+ public:
+  std::unique_ptr<RateController> Make() const {
+    switch (GetParam()) {
+      case 0:
+        return std::make_unique<ArfController>(PhyStandard::k80211a);
+      case 1: {
+        ArfController::Options o;
+        o.adaptive = true;
+        return std::make_unique<ArfController>(PhyStandard::k80211a, o);
+      }
+      case 2:
+        return std::make_unique<OnoeController>(PhyStandard::k80211a);
+      case 3:
+        return std::make_unique<SampleRateController>(PhyStandard::k80211a, Rng(11));
+      case 4:
+        return std::make_unique<MinstrelController>(PhyStandard::k80211a, Rng(12));
+      default:
+        return std::make_unique<FixedRateController>(BaseModeFor(PhyStandard::k80211a));
+    }
+  }
+};
+
+TEST_P(AllControllers, AlwaysReturnsValidMode) {
+  auto ctl = Make();
+  Rng channel(77);
+  Time now = Time::Zero();
+  for (int i = 0; i < 2000; ++i) {
+    const uint8_t retry = static_cast<uint8_t>(i % 4);
+    const WifiMode m = ctl->SelectMode(kPeer, 1500, retry);
+    EXPECT_NE(IndexOf(PhyStandard::k80211a, m), SIZE_MAX);
+    ctl->OnTxResult(kPeer, m, channel.Chance(0.7), now);
+    now += Time::Micros(300);
+  }
+}
+
+TEST_P(AllControllers, SurvivesTotalBlackout) {
+  auto ctl = Make();
+  Time now = Time::Zero();
+  for (int i = 0; i < 500; ++i) {
+    const WifiMode m = ctl->SelectMode(kPeer, 1500, 0);
+    ctl->OnTxResult(kPeer, m, false, now);
+    ctl->OnFinalFailure(kPeer);
+    now += Time::Millis(2);
+  }
+  // After a blackout every adaptive controller must sit at/near the most
+  // robust rate (index 0 or 1, allowing probe packets).
+  const WifiMode m = ctl->SelectMode(kPeer, 1500, 3);
+  EXPECT_LE(IndexOf(PhyStandard::k80211a, m), 1u);
+}
+
+std::string ControllerName(const ::testing::TestParamInfo<int>& info) {
+  static const char* const kNames[] = {"arf", "aarf", "onoe", "samplerate", "minstrel", "fixed"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllControllers, ::testing::Range(0, 6), ControllerName);
+
+}  // namespace
+}  // namespace wlansim
