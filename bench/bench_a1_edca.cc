@@ -18,71 +18,17 @@ namespace {
 Table g_table({"qos", "bulk_stations", "voice_delay_ms", "voice_p99_ms(jitter_ms)",
                "voice_loss_%", "bulk_mbps"});
 
-struct Outcome {
-  double voice_delay_ms;
-  double voice_jitter_ms;
-  double voice_loss;
-  double bulk_mbps;
-};
-
-Outcome RunQos(bool qos, size_t bulk_stations, uint64_t seed) {
-  Network net(Network::Params{.seed = seed});
-  net.UseLogDistanceLoss(3.0);
-  auto tweak = [qos](WifiMac::Config& c) { c.qos_enabled = qos; };
-  Node* ap = net.AddNode(
-      {.role = MacRole::kAp, .standard = PhyStandard::k80211b, .mac_tweak = tweak});
-  const WifiMode m = ModesFor(PhyStandard::k80211b).back();
-
-  Node* phone = net.AddNode({.role = MacRole::kSta,
-                             .standard = PhyStandard::k80211b,
-                             .position = {5, 5, 0},
-                             .mac_tweak = tweak});
-  phone->SetRateController(std::make_unique<FixedRateController>(m));
-
-  std::vector<Node*> bulk;
-  for (size_t i = 0; i < bulk_stations; ++i) {
-    const double angle = 2.0 * 3.14159265358979 * static_cast<double>(i) /
-                         static_cast<double>(std::max<size_t>(bulk_stations, 1));
-    Node* sta = net.AddNode({.role = MacRole::kSta,
-                             .standard = PhyStandard::k80211b,
-                             .position = {10 * std::cos(angle), 10 * std::sin(angle), 0},
-                             .mac_tweak = tweak});
-    sta->SetRateController(std::make_unique<FixedRateController>(m));
-    bulk.push_back(sta);
-  }
-  net.StartAll();
-
-  auto* voice = phone->AddTraffic<CbrTraffic>(ap->address(), 1, 160, Time::Millis(20));
-  voice->SetPriority(6);  // AC_VO
-  voice->Start(Time::Seconds(1));
-  for (size_t i = 0; i < bulk.size(); ++i) {
-    auto* app =
-        bulk[i]->AddTraffic<SaturatedTraffic>(ap->address(), static_cast<uint32_t>(i + 2), 1500);
-    app->SetPriority(1);  // AC_BK
-    app->Start(Time::Seconds(1));
-  }
-  net.Run(Time::Seconds(7));
-
-  Outcome out{};
-  const auto* flow = net.flow_stats().Find(1);
-  out.voice_delay_ms = flow != nullptr ? flow->delay_us.mean() / 1000.0 : 0.0;
-  out.voice_jitter_ms = flow != nullptr ? flow->jitter_us / 1000.0 : 0.0;
-  out.voice_loss = net.flow_stats().LossRate(1);
-  double bulk_mbps = 0;
-  for (size_t i = 0; i < bulk.size(); ++i) {
-    bulk_mbps += net.flow_stats().GoodputMbps(static_cast<uint32_t>(i + 2));
-  }
-  out.bulk_mbps = bulk_mbps;
-  return out;
-}
-
 const size_t kBulkCounts[] = {1, 3, 6, 10};
 
 void Run(benchmark::State& state, bool qos) {
   const size_t k = kBulkCounts[state.range(0)];
-  Outcome o{};
+  EdcaQosParams p;
+  p.qos = qos;
+  p.bulk_stations = k;
+  p.seed = 500 + k;
+  EdcaQosResult o{};
   for (auto _ : state) {
-    o = RunQos(qos, k, 500 + k);
+    o = RunEdcaScenario(p);
   }
   state.counters["voice_delay_ms"] = o.voice_delay_ms;
   state.counters["bulk_mbps"] = o.bulk_mbps;

@@ -23,36 +23,11 @@ Table g_table({"standard", "oven_distance_m", "goodput_mbps", "retry_rate_%", "v
 double g_clean[2] = {0, 0};
 
 RunResult RunOven(PhyStandard standard, double oven_distance, uint64_t seed) {
-  Network net(Network::Params{.seed = seed});
-  net.UseLogDistanceLoss(3.0);
-  Node* rx = net.AddNode({.role = MacRole::kAdhoc, .standard = standard});
-  Node* tx = net.AddNode(
-      {.role = MacRole::kAdhoc, .standard = standard, .position = {12, 0, 0}});
-  tx->SetRateController(std::make_unique<FixedRateController>(ModesFor(standard).back()));
-  net.StartAll();
-
-  std::unique_ptr<MicrowaveOven> oven;
-  if (oven_distance > 0) {
-    MicrowaveOven::Config oc;
-    oc.position = {-oven_distance, 0, 0};
-    oc.channel_number = 1;  // the oven lives in the 2.4 GHz band
-    oven = std::make_unique<MicrowaveOven>(&net.sim(), &net.channel(), 99, oc);
-    oven->Start(Time::Millis(500));
-  }
-  // 802.11a rides channel 36 (5 GHz): out of the oven's band.
-  if (standard == PhyStandard::k80211a) {
-    rx->phy().SetChannelNumber(36);
-    tx->phy().SetChannelNumber(36);
-  }
-
-  tx->AddTraffic<SaturatedTraffic>(rx->address(), 1, 1200)->Start(Time::Seconds(1));
-  net.Run(Time::Seconds(7));
-
-  RunResult r;
-  r.goodput_mbps = net.flow_stats().GoodputMbps(1);
-  r.retries = tx->mac().counters().retries;
-  r.tx_attempts = tx->mac().counters().tx_data_attempts;
-  return r;
+  IsmParams p;
+  p.standard = standard;
+  p.oven_distance = oven_distance;
+  p.seed = seed;
+  return RunIsmInterferenceScenario(p);
 }
 
 const double kOvenDistances[] = {0 /* no oven */, 3, 10, 30, 100};

@@ -38,26 +38,13 @@ const std::vector<Point>& Points() {
 
 RunResult RunLink(PhyStandard standard, double distance, size_t rate_index,
                   const std::string& controller) {
-  Network net(Network::Params{.seed = 7});
-  net.UseLogDistanceLoss(3.0);
-  Node* ap = net.AddNode({.role = MacRole::kAp, .standard = standard, .ssid = "f1"});
-  Node* sta = net.AddNode({.role = MacRole::kSta,
-                           .standard = standard,
-                           .ssid = "f1",
-                           .position = {distance, 0, 0}});
-  if (controller.empty()) {
-    sta->SetRateController(
-        std::make_unique<FixedRateController>(ModesFor(standard)[rate_index]));
-  } else {
-    sta->SetRateController(MakeController(controller, standard, net.ForkRng("rate")));
-  }
-  net.StartAll();
-  auto* app = sta->AddTraffic<SaturatedTraffic>(ap->address(), 1, 1200);
-  app->Start(Time::Seconds(1));
-  net.Run(Time::Seconds(5));
-  RunResult r;
-  r.goodput_mbps = net.flow_stats().GoodputMbps();
-  return r;
+  LinkParams p;
+  p.standard = standard;
+  p.distance = distance;
+  p.rate_index = rate_index;
+  p.controller = controller;
+  p.seed = 7;
+  return RunLinkScenario(p);
 }
 
 void BM_RateVsDistance(benchmark::State& state) {

@@ -16,62 +16,20 @@ namespace {
 
 Table g_table({"topology", "access", "agg_goodput_mbps", "retry_rate_%", "drop_rate_%"});
 
-RunResult RunHidden(bool hidden, bool rtscts, uint64_t seed) {
-  Network net(Network::Params{.seed = seed});
-  MatrixLossModel* loss = net.UseMatrixLoss(200.0);
-
-  auto mac_tweak = [&](WifiMac::Config& c) {
-    c.rts_threshold = rtscts ? 400 : 65535;
-  };
-  // Node ids are assigned in AddNode order: receiver 0, senders 1 and 2.
-  Node* receiver = net.AddNode(
-      {.role = MacRole::kAdhoc, .standard = PhyStandard::k80211b, .mac_tweak = mac_tweak});
-  Node* a = net.AddNode({.role = MacRole::kAdhoc,
-                         .standard = PhyStandard::k80211b,
-                         .position = {50, 0, 0},
-                         .mac_tweak = mac_tweak});
-  Node* b = net.AddNode({.role = MacRole::kAdhoc,
-                         .standard = PhyStandard::k80211b,
-                         .position = {-50, 0, 0},
-                         .mac_tweak = mac_tweak});
-  loss->SetLoss(1, 0, 70.0);  // both senders hear the receiver fine
-  loss->SetLoss(2, 0, 70.0);
-  loss->SetLoss(1, 2, hidden ? 200.0 : 70.0);  // sender-sender link
-
-  const WifiMode mode = ModesFor(PhyStandard::k80211b).back();
-  a->SetRateController(std::make_unique<FixedRateController>(mode));
-  b->SetRateController(std::make_unique<FixedRateController>(mode));
-  net.StartAll();
-  a->AddTraffic<SaturatedTraffic>(receiver->address(), 1, 1500)->Start(Time::Seconds(1));
-  b->AddTraffic<SaturatedTraffic>(receiver->address(), 2, 1500)->Start(Time::Seconds(1));
-  net.Run(Time::Seconds(7));
-
-  RunResult r;
-  r.goodput_mbps = net.flow_stats().GoodputMbps();
-  for (Node* s : {a, b}) {
-    r.retries += s->mac().counters().retries;
-    r.tx_attempts += s->mac().counters().tx_data_attempts;
-  }
-  r.loss_rate = static_cast<double>(a->mac().counters().tx_data_dropped +
-                                    b->mac().counters().tx_data_dropped);
-  return r;
-}
-
 void Run(benchmark::State& state, bool hidden, bool rtscts) {
-  RunResult r{};
+  HiddenTerminalParams p;
+  p.hidden = hidden;
+  p.rtscts = rtscts;
+  p.seed = 42;
+  HiddenTerminalResult r{};
   for (auto _ : state) {
-    r = RunHidden(hidden, rtscts, 42);
+    r = RunHiddenTerminalScenario(p);
   }
-  const double retry_rate =
-      r.tx_attempts ? 100.0 * static_cast<double>(r.retries) / static_cast<double>(r.tx_attempts)
-                    : 0.0;
-  const double drop_rate =
-      r.tx_attempts ? 100.0 * r.loss_rate / static_cast<double>(r.tx_attempts) : 0.0;
   state.counters["goodput_mbps"] = r.goodput_mbps;
-  state.counters["retry_pct"] = retry_rate;
+  state.counters["retry_pct"] = 100.0 * r.retry_rate;
   g_table.AddRow({hidden ? "hidden" : "cs-range", rtscts ? "rts/cts" : "basic",
-                  Table::Num(r.goodput_mbps, 2), Table::Num(retry_rate, 1),
-                  Table::Num(drop_rate, 2)});
+                  Table::Num(r.goodput_mbps, 2), Table::Num(100.0 * r.retry_rate, 1),
+                  Table::Num(100.0 * r.drop_rate, 2)});
 }
 
 void BM_CsRangeBasic(benchmark::State& s) {

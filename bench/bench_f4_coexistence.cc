@@ -16,50 +16,14 @@ namespace {
 
 Table g_table({"scenario", "g_sta_goodput_mbps", "b_sta_goodput_mbps", "agg_mbps"});
 
-struct Result {
-  double g_mbps;
-  double b_mbps;
-};
-
-Result RunCoexistence(bool with_b_sta, bool protection, uint64_t seed) {
-  Network net(Network::Params{.seed = seed});
-  net.UseLogDistanceLoss(3.0);
-  auto g_tweak = [&](WifiMac::Config& c) { c.cts_to_self_protection = protection; };
-
-  Node* ap = net.AddNode({.role = MacRole::kAp,
-                          .standard = PhyStandard::k80211g,
-                          .ssid = "mix",
-                          .mac_tweak = g_tweak});
-  Node* g_sta = net.AddNode({.role = MacRole::kSta,
-                             .standard = PhyStandard::k80211g,
-                             .ssid = "mix",
-                             .position = {8, 0, 0},
-                             .mac_tweak = g_tweak});
-  g_sta->SetRateController(
-      std::make_unique<FixedRateController>(ModesFor(PhyStandard::k80211g).back()));
-
-  Node* b_sta = nullptr;
-  if (with_b_sta) {
-    b_sta = net.AddNode({.role = MacRole::kSta,
-                         .standard = PhyStandard::k80211b,
-                         .ssid = "mix",
-                         .position = {-35, 0, 0}});  // beyond ED range of the g STA: protection matters
-    b_sta->SetRateController(
-        std::make_unique<FixedRateController>(ModesFor(PhyStandard::k80211b).back()));
-  }
-  net.StartAll();
-  g_sta->AddTraffic<SaturatedTraffic>(ap->address(), 1, 1500)->Start(Time::Seconds(1));
-  if (b_sta != nullptr) {
-    b_sta->AddTraffic<SaturatedTraffic>(ap->address(), 2, 1500)->Start(Time::Seconds(1));
-  }
-  net.Run(Time::Seconds(7));
-  return Result{net.flow_stats().GoodputMbps(1), net.flow_stats().GoodputMbps(2)};
-}
-
 void Run(benchmark::State& state, const char* label, bool with_b, bool protection) {
-  Result r{};
+  CoexistenceParams p;
+  p.with_b_sta = with_b;
+  p.protection = protection;
+  p.seed = 23;
+  CoexistenceResult r{};
   for (auto _ : state) {
-    r = RunCoexistence(with_b, protection, 23);
+    r = RunCoexistenceScenario(p);
   }
   state.counters["g_mbps"] = r.g_mbps;
   state.counters["b_mbps"] = r.b_mbps;

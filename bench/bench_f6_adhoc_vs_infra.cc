@@ -17,65 +17,17 @@ namespace {
 Table g_table({"mode", "n_nodes", "offered_mbps", "delivered_mbps", "delivery_%",
                "mean_delay_ms"});
 
-struct Result {
-  double offered_mbps;
-  double delivered_mbps;
-  double delay_ms;
-};
-
-Result RunScenario(bool adhoc, size_t n_pairs, uint64_t seed) {
-  Network net(Network::Params{.seed = seed});
-  net.UseLogDistanceLoss(3.0);
-  constexpr size_t kPayload = 1000;
-  const Time interval = Time::Millis(4);  // 2 Mb/s offered per flow
-
-  const WifiMode kFull = ModesFor(PhyStandard::k80211b).back();
-  Node* ap = nullptr;
-  if (!adhoc) {
-    ap = net.AddNode({.role = MacRole::kAp, .standard = PhyStandard::k80211b, .ssid = "f6"});
-    ap->SetRateController(std::make_unique<FixedRateController>(kFull));
-  }
-  std::vector<Node*> nodes;
-  for (size_t i = 0; i < 2 * n_pairs; ++i) {
-    const double angle = 2.0 * 3.14159265358979 * static_cast<double>(i) /
-                         static_cast<double>(2 * n_pairs);
-    nodes.push_back(net.AddNode({.role = adhoc ? MacRole::kAdhoc : MacRole::kSta,
-                                 .standard = PhyStandard::k80211b,
-                                 .ssid = "f6",
-                                 .position = {12 * std::cos(angle), 12 * std::sin(angle), 0}}));
-    nodes.back()->SetRateController(std::make_unique<FixedRateController>(kFull));
-  }
-  net.StartAll();
-  for (size_t i = 0; i < n_pairs; ++i) {
-    Node* src = nodes[2 * i];
-    Node* dst = nodes[2 * i + 1];
-    auto* app = src->AddTraffic<CbrTraffic>(dst->address(), static_cast<uint32_t>(i + 1),
-                                            kPayload, interval);
-    app->Start(Time::Seconds(1) + Time::Micros(static_cast<int64_t>(137 * i)));
-  }
-  net.Run(Time::Seconds(9));
-  (void)ap;
-
-  Result r{};
-  r.offered_mbps = static_cast<double>(n_pairs) * kPayload * 8.0 / interval.seconds() / 1e6;
-  r.delivered_mbps = net.flow_stats().GoodputMbps();
-  double delay_sum = 0;
-  uint64_t delay_n = 0;
-  for (const auto& [id, flow] : net.flow_stats().flows()) {
-    delay_sum += flow.delay_us.mean() * static_cast<double>(flow.delay_us.count());
-    delay_n += flow.delay_us.count();
-  }
-  r.delay_ms = delay_n ? delay_sum / static_cast<double>(delay_n) / 1000.0 : 0;
-  return r;
-}
-
 const size_t kPairCounts[] = {1, 2, 4, 8};
 
 void Run(benchmark::State& state, bool adhoc) {
   const size_t pairs = kPairCounts[state.range(0)];
-  Result r{};
+  AdhocInfraParams p;
+  p.adhoc = adhoc;
+  p.n_pairs = pairs;
+  p.seed = 55 + pairs;
+  AdhocInfraResult r{};
   for (auto _ : state) {
-    r = RunScenario(adhoc, pairs, 55 + pairs);
+    r = RunAdhocInfraScenario(p);
   }
   state.counters["delivered_mbps"] = r.delivered_mbps;
   state.counters["delay_ms"] = r.delay_ms;

@@ -10,7 +10,6 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
-#include "stats/time_series.h"
 
 namespace wlansim {
 namespace {
@@ -19,76 +18,26 @@ Table g_series({"time_s", "delivered_kbps"});
 Table g_summary({"metric", "value"});
 
 void BM_Roam(benchmark::State& state) {
-  uint64_t handoffs = 0;
-  double loss = 0;
+  RoamingResult r{};
   for (auto _ : state) {
-    Network net(Network::Params{.seed = 77});
-    net.UseLogDistanceLoss(3.2);
-
-    auto scan_both = [](WifiMac::Config& c) {
-      c.scan_channels = {1, 6};
-      c.beacon_loss_limit = 3;
-    };
-    Node* ap1 = net.AddNode({.role = MacRole::kAp,
-                             .standard = PhyStandard::k80211b,
-                             .ssid = "ess",
-                             .position = {0, 0, 0},
-                             .channel = 1});
-    Node* ap2 = net.AddNode({.role = MacRole::kAp,
-                             .standard = PhyStandard::k80211b,
-                             .ssid = "ess",
-                             .position = {160, 0, 0},
-                             .channel = 6});
-    Node* sta = net.AddNode({.role = MacRole::kSta,
-                             .standard = PhyStandard::k80211b,
-                             .ssid = "ess",
-                             .position = {10, 0, 0},
-                             .channel = 1,
-                             .mac_tweak = scan_both});
-    // Walk from x=10 toward x=150 at 10 m/s starting after association.
-    sta->SetMobility(std::make_unique<ConstantVelocityMobility>(Vector3{10, 0, 0},
-                                                                Vector3{10, 0, 0}));
-    net.StartAll();
-
-    // Uplink CBR 400 kb/s to whichever AP is current (send to AP1's address;
-    // the bridge delivers locally at each AP — use broadcast? No: address the
-    // *serving* AP). We send to the BSSID dynamically via a small pump.
-    TimeSeries delivered(Time::Millis(500));
-    auto pump = std::make_shared<std::function<void()>>();
-    Simulator& sim = net.sim();
-    FlowStats& stats = net.flow_stats();
-    *pump = [&sim, sta, pump, &stats]() {
-      if (sta->mac().IsAssociated()) {
-        Packet p(500);
-        p.meta().flow_id = 1;
-        p.meta().created = sim.Now();
-        stats.RecordSent(1, 500, sim.Now());
-        sta->mac().Enqueue(std::move(p), sta->mac().bssid());
-      }
-      sim.Schedule(Time::Millis(10), [pump] { (*pump)(); });
-    };
-    sim.Schedule(Time::Seconds(1), [pump] { (*pump)(); });
-
-    ap1->SetRxCallback([&](const Packet& p, MacAddress, MacAddress) {
-      delivered.Add(net.sim().Now(), static_cast<double>(p.size()));
-    });
-    ap2->SetRxCallback([&](const Packet& p, MacAddress, MacAddress) {
-      delivered.Add(net.sim().Now(), static_cast<double>(p.size()));
-    });
-
-    net.Run(Time::Seconds(20));
-
-    handoffs = sta->mac().counters().handoffs;
-    loss = net.flow_stats().LossRate(1);
-    for (const auto& bucket : delivered.buckets()) {
-      g_series.AddRow({Table::Num(bucket.start.seconds(), 1),
-                       Table::Num(bucket.sum * 8.0 / 0.5 / 1000.0, 0)});
+    RoamingParams p;
+    p.n_aps = 2;
+    p.spacing = 160.0;
+    p.speed = 10.0;
+    p.start_x = 10.0;
+    p.payload = 500;
+    p.sim_time = Time::Seconds(20);
+    p.seed = 77;
+    r = RunRoamingScenario(p);
+    for (const auto& [start_s, bytes] : r.delivered_buckets) {
+      g_series.AddRow(
+          {Table::Num(start_s, 1), Table::Num(bytes * 8.0 / r.bucket_seconds / 1000.0, 0)});
     }
-    g_summary.AddRow({"handoffs", std::to_string(handoffs)});
-    g_summary.AddRow({"packet_loss_%", Table::Num(100.0 * loss, 2)});
+    g_summary.AddRow({"handoffs", std::to_string(r.handoffs)});
+    g_summary.AddRow({"packet_loss_%", Table::Num(100.0 * r.loss_rate, 2)});
   }
-  state.counters["handoffs"] = static_cast<double>(handoffs);
-  state.counters["loss_pct"] = 100.0 * loss;
+  state.counters["handoffs"] = static_cast<double>(r.handoffs);
+  state.counters["loss_pct"] = 100.0 * r.loss_rate;
 }
 
 BENCHMARK(BM_Roam)->Iterations(1)->Unit(benchmark::kMillisecond);

@@ -18,92 +18,32 @@ namespace {
 
 Table g_table({"channel", "frag_threshold_B", "goodput_mbps", "drop_rate_%", "retry_rate_%"});
 
-RunResult RunFrag(bool jammed, uint32_t threshold, uint64_t seed) {
-  Network net(Network::Params{.seed = seed});
-  MatrixLossModel* loss = net.UseMatrixLoss(200.0);
-
-  auto frag = [&](WifiMac::Config& c) {
-    c.frag_threshold = threshold;
-    c.retry_limit = 7;
-  };
-  // DSSS receivers capture a ≥6 dB stronger frame during the preamble; the
-  // data signal is 7.5 dB above the jammer, so a frame arriving while the
-  // receiver is locked onto a jammer preamble can still win the receiver.
-  auto capture = [](WifiPhy::Config& c) { c.capture_margin_db = 6.0; };
-  // ids: 0 receiver, 1 sender, 2 jammer.
-  Node* rx = net.AddNode({.role = MacRole::kAdhoc,
-                          .standard = PhyStandard::k80211b,
-                          .phy_tweak = capture,
-                          .mac_tweak = frag});
-  Node* tx = net.AddNode({.role = MacRole::kAdhoc,
-                          .standard = PhyStandard::k80211b,
-                          .position = {30, 0, 0},
-                          .phy_tweak = capture,
-                          .mac_tweak = frag});
-  loss->SetLoss(1, 0, 75.0);  // signal at the receiver: -59 dBm
-  Node* jammer = nullptr;
-  if (jammed) {
-    jammer = net.AddNode({.role = MacRole::kAdhoc,
-                          .standard = PhyStandard::k80211b,
-                          .position = {-30, 0, 0}});
-    // Jammer reaches the receiver at -66.5 dBm → SINR ≈ 7.5 dB during a
-    // burst: overlapped CCK-11 bits see BER ~2e-4, so short fragments often
-    // survive a graze while 2000-byte MPDUs die. Sender cannot hear it.
-    loss->SetLoss(2, 0, 82.5);
-  }
-
-  tx->SetRateController(
-      std::make_unique<FixedRateController>(ModesFor(PhyStandard::k80211b).back()));
-  net.StartAll();
-  tx->AddTraffic<SaturatedTraffic>(rx->address(), 1, 2000)->Start(Time::Seconds(1));
-  if (jammer != nullptr) {
-    // Poisson bursts: 400 B broadcasts (~480 us air) at 250/s — ~12 % duty,
-    // arrivals memoryless so fragment retries re-roll the overlap dice.
-    jammer->SetRateController(
-        std::make_unique<FixedRateController>(ModesFor(PhyStandard::k80211b).back()));
-    jammer
-        ->AddTraffic<PoissonTraffic>(MacAddress::Broadcast(), 99, 400, 250.0,
-                                     net.ForkRng("jam"))
-        ->Start(Time::Seconds(1));
-  }
-  net.Run(Time::Seconds(9));
-
-  RunResult r;
-  r.goodput_mbps = net.flow_stats().GoodputMbps(1);
-  r.retries = tx->mac().counters().retries;
-  r.tx_attempts = tx->mac().counters().tx_data_attempts;
-  r.loss_rate = static_cast<double>(tx->mac().counters().tx_data_dropped);
-  return r;
-}
-
 const uint32_t kThresholds[] = {256, 512, 1024, 2346};
 
 void Run(benchmark::State& state, bool jammed) {
   const uint32_t threshold = kThresholds[state.range(0)];
-  RunResult r{};
+  HiddenTerminalResult r{};
   for (auto _ : state) {
     // Average 3 seeds: the jammed scenario has high run-to-run variance.
-    RunResult acc{};
+    HiddenTerminalResult acc{};
     constexpr int kSeeds = 3;
     for (int s_i = 0; s_i < kSeeds; ++s_i) {
-      const RunResult one = RunFrag(jammed, threshold, 31 + 17 * s_i);
+      FragmentationParams p;
+      p.jammed = jammed;
+      p.frag_threshold = threshold;
+      p.seed = 31 + 17 * static_cast<uint64_t>(s_i);
+      const HiddenTerminalResult one = RunFragmentationScenario(p);
       acc.goodput_mbps += one.goodput_mbps / kSeeds;
-      acc.retries += one.retries;
-      acc.tx_attempts += one.tx_attempts;
-      acc.loss_rate += one.loss_rate;
+      acc.retry_rate += one.retry_rate / kSeeds;
+      acc.drop_rate += one.drop_rate / kSeeds;
     }
     r = acc;
   }
-  const double retry_rate =
-      r.tx_attempts ? 100.0 * static_cast<double>(r.retries) / static_cast<double>(r.tx_attempts)
-                    : 0.0;
-  const double drop_rate =
-      r.tx_attempts ? 100.0 * r.loss_rate / static_cast<double>(r.tx_attempts) : 0.0;
   state.counters["goodput_mbps"] = r.goodput_mbps;
   g_table.AddRow({jammed ? "hidden-jammer" : "clean",
                   threshold >= 2346 ? "off" : std::to_string(threshold),
-                  Table::Num(r.goodput_mbps, 3), Table::Num(drop_rate, 2),
-                  Table::Num(retry_rate, 1)});
+                  Table::Num(r.goodput_mbps, 3), Table::Num(100.0 * r.drop_rate, 2),
+                  Table::Num(100.0 * r.retry_rate, 1)});
 }
 
 void BM_Clean(benchmark::State& s) {

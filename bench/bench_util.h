@@ -1,6 +1,7 @@
-// Shared helpers for the experiment harnesses: canonical scenario builders
-// and result rows. Every bench binary prints an aligned table (and CSV when
-// --csv is passed) with the series the corresponding figure/table reports.
+// Shared helpers for the experiment harnesses. The canonical scenario
+// builders live in the library (runner/builders.h) so the campaign runner,
+// the benches and the examples execute identical scenario code; this header
+// only re-exports them plus the table-printing glue the bench mains use.
 
 #ifndef WLANSIM_BENCH_BENCH_UTIL_H_
 #define WLANSIM_BENCH_BENCH_UTIL_H_
@@ -15,118 +16,15 @@
 #include "rate/minstrel.h"
 #include "rate/onoe.h"
 #include "rate/sample_rate.h"
+#include "runner/builders.h"
 #include "stats/table.h"
 
 namespace wlansim {
 
-// Result of one scenario run.
-struct RunResult {
-  double goodput_mbps = 0.0;
-  double loss_rate = 0.0;
-  double mean_delay_ms = 0.0;
-  uint64_t retries = 0;
-  uint64_t tx_attempts = 0;
-  uint64_t rx_ok = 0;
-  uint64_t handoffs = 0;
-};
-
-// Saturated uplink BSS: `n_stas` stations at `distance` m from the AP, all
-// backlogged toward the AP with `payload` bytes. Returns aggregate results.
-struct SaturationParams {
-  PhyStandard standard = PhyStandard::k80211b;
-  size_t n_stas = 1;
-  size_t payload = 1500;
-  double distance = 10.0;
-  uint32_t rts_threshold = 65535;  // off by default
-  Time sim_time = Time::Seconds(6);
-  Time warmup = Time::Seconds(1);
-  uint64_t seed = 1;
-  CipherSuite cipher = CipherSuite::kOpen;
-  // Fixed rate index into ModesFor(standard); SIZE_MAX = highest.
-  size_t rate_index = SIZE_MAX;
-};
-
-inline RunResult RunSaturationScenario(const SaturationParams& p) {
-  Network net(Network::Params{.seed = p.seed});
-  net.UseLogDistanceLoss(3.0);
-
-  std::vector<uint8_t> key(16, 0x42);
-  auto mac_tweak = [&](WifiMac::Config& c) {
-    c.rts_threshold = p.rts_threshold;
-    if (p.cipher != CipherSuite::kOpen) {
-      c.cipher = p.cipher;
-      c.cipher_key = p.cipher == CipherSuite::kWep ? std::vector<uint8_t>(13, 0x42) : key;
-    }
-  };
-
-  Node* ap = net.AddNode(
-      {.role = MacRole::kAp, .standard = p.standard, .ssid = "bench", .mac_tweak = mac_tweak});
-  const auto modes = ModesFor(p.standard);
-  const WifiMode fixed =
-      modes[p.rate_index == SIZE_MAX ? modes.size() - 1 : p.rate_index];
-
-  std::vector<Node*> stas;
-  for (size_t i = 0; i < p.n_stas; ++i) {
-    // Stations on a circle around the AP.
-    const double angle = 2.0 * 3.14159265358979 * static_cast<double>(i) /
-                         static_cast<double>(std::max<size_t>(p.n_stas, 1));
-    Node* sta = net.AddNode({.role = MacRole::kSta,
-                             .standard = p.standard,
-                             .ssid = "bench",
-                             .position = {p.distance * std::cos(angle),
-                                          p.distance * std::sin(angle), 0},
-                             .mac_tweak = mac_tweak});
-    sta->SetRateController(std::make_unique<FixedRateController>(fixed));
-    stas.push_back(sta);
-  }
-  net.StartAll();
-
-  for (size_t i = 0; i < stas.size(); ++i) {
-    auto* app = stas[i]->AddTraffic<SaturatedTraffic>(ap->address(),
-                                                      static_cast<uint32_t>(i + 1), p.payload);
-    app->Start(p.warmup);
-  }
-  net.Run(p.warmup + p.sim_time);
-
-  RunResult r;
-  r.goodput_mbps = net.flow_stats().GoodputMbps();
-  r.loss_rate = net.flow_stats().LossRate();
-  uint64_t delay_count = 0;
-  double delay_sum = 0;
-  for (const auto& [id, flow] : net.flow_stats().flows()) {
-    delay_sum += flow.delay_us.mean() * static_cast<double>(flow.delay_us.count());
-    delay_count += flow.delay_us.count();
-  }
-  r.mean_delay_ms = delay_count ? delay_sum / static_cast<double>(delay_count) / 1000.0 : 0.0;
-  for (auto& sta : stas) {
-    r.retries += sta->mac().counters().retries;
-    r.tx_attempts += sta->mac().counters().tx_data_attempts;
-  }
-  r.rx_ok = ap->mac().counters().rx_data;
-  return r;
-}
-
 // Creates the requested rate controller by name; nullptr for "fixed".
 inline std::unique_ptr<RateController> MakeController(const std::string& name,
                                                       PhyStandard standard, Rng rng) {
-  if (name == "arf") {
-    return std::make_unique<ArfController>(standard);
-  }
-  if (name == "aarf") {
-    ArfController::Options o;
-    o.adaptive = true;
-    return std::make_unique<ArfController>(standard, o);
-  }
-  if (name == "onoe") {
-    return std::make_unique<OnoeController>(standard);
-  }
-  if (name == "samplerate") {
-    return std::make_unique<SampleRateController>(standard, rng);
-  }
-  if (name == "minstrel") {
-    return std::make_unique<MinstrelController>(standard, rng);
-  }
-  return nullptr;
+  return MakeRateController(name, standard, rng);
 }
 
 inline void PrintTable(const std::string& title, const Table& table, int argc, char** argv) {

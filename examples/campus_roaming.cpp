@@ -1,93 +1,44 @@
 // Campus roaming: an extended service set of three access points along a
-// corridor, all broadcasting the same SSID on different channels, and a
-// tablet walking past all three while running a constant-rate uplink.
+// corridor, all broadcasting the same SSID on channels 1/6/11, and a tablet
+// riding past all three while running a constant-rate uplink.
 //
-// Demonstrates: multi-AP ESS construction, passive scanning across
-// channels, beacon-loss detection, reassociation (handoff), and
-// throughput-over-time reporting — the survey's "seamless roaming" story,
-// including its distinctly non-seamless gaps.
+// The topology is the library's canonical roaming builder (the same code
+// `wlansim_run --scenario=roaming --param n_aps=3` executes); this example
+// turns on association logging and plots the delivered-rate time series,
+// the survey's "seamless roaming" story including its distinctly
+// non-seamless gaps.
 
 #include <cstdio>
+#include <string>
 
-#include "net/network.h"
-#include "rate/arf.h"
-#include "stats/time_series.h"
+#include "runner/builders.h"
 
 using namespace wlansim;
 
 int main() {
-  Network net(Network::Params{.seed = 11});
-  net.UseLogDistanceLoss(3.3);
+  RoamingParams p;
+  p.n_aps = 3;
+  p.spacing = 120.0;  // channels 1 / 6 / 11 along the corridor
+  p.speed = 12.0;     // a brisk campus bicycle
+  p.path_loss_exponent = 3.3;
+  p.start_x = 5.0;
+  p.payload = 750;
+  p.scan_dwell = Time::Millis(120);  // > beacon interval
+  p.sim_time = Time::Seconds(22);
+  p.seed = 11;
+  p.use_arf = true;
+  p.log_associations = true;
 
-  // Three APs, 120 m apart, channels 1/6/11 (the classic non-overlapping set).
-  struct ApSpec {
-    double x;
-    uint8_t channel;
-  };
-  const ApSpec specs[] = {{0, 1}, {120, 6}, {240, 11}};
-  std::vector<Node*> aps;
-  for (const ApSpec& spec : specs) {
-    aps.push_back(net.AddNode({.role = MacRole::kAp,
-                               .standard = PhyStandard::k80211b,
-                               .ssid = "campus",
-                               .position = {spec.x, 0, 0},
-                               .channel = spec.channel}));
-  }
-
-  Node* tablet = net.AddNode({.role = MacRole::kSta,
-                              .standard = PhyStandard::k80211b,
-                              .ssid = "campus",
-                              .position = {5, 0, 0},
-                              .channel = 1,
-                              .mac_tweak = [](WifiMac::Config& c) {
-                                c.scan_channels = {1, 6, 11};
-                                c.beacon_loss_limit = 3;
-                                c.scan_dwell = Time::Millis(120);  // > beacon interval
-                              }});
-  tablet->SetRateController(std::make_unique<ArfController>(PhyStandard::k80211b));
-  // Walk the corridor at 12 m/s (a brisk campus bicycle).
-  tablet->SetMobility(std::make_unique<ConstantVelocityMobility>(Vector3{5, 0, 0},
-                                                                 Vector3{12, 0, 0}));
-
-  // Log association events as they happen.
-  tablet->mac().SetAssociationCallback([&](bool up, MacAddress bssid) {
-    std::printf("[%8s] %s %s\n", net.sim().Now().ToString().c_str(),
-                up ? "associated to" : "lost", bssid.ToString().c_str());
-  });
-
-  net.StartAll();
-
-  // Uplink: 600 kb/s CBR of 750 B packets to the serving AP. Because the
-  // serving AP changes, packets are addressed to the current BSSID.
-  TimeSeries delivered(Time::Millis(1000));
-  for (Node* ap : aps) {
-    ap->SetRxCallback([&](const Packet& p, MacAddress, MacAddress) {
-      delivered.Add(net.sim().Now(), static_cast<double>(p.size()));
-    });
-  }
-  auto pump = std::make_shared<std::function<void()>>();
-  *pump = [&net, tablet, pump] {
-    if (tablet->mac().IsAssociated()) {
-      Packet p(750);
-      p.meta().flow_id = 1;
-      p.meta().created = net.sim().Now();
-      net.flow_stats().RecordSent(1, 750, net.sim().Now());
-      tablet->mac().Enqueue(std::move(p), tablet->mac().bssid());
-    }
-    net.sim().Schedule(Time::Millis(10), [pump] { (*pump)(); });
-  };
-  net.sim().Schedule(Time::Seconds(1), [pump] { (*pump)(); });
-
-  net.Run(Time::Seconds(22));
+  const RoamingResult r = RunRoamingScenario(p);
 
   std::printf("\ntime  delivered uplink rate\n");
-  for (const auto& bucket : delivered.buckets()) {
-    const double kbps = bucket.sum * 8.0 / 1000.0;
-    std::printf("%4.0fs  %6.0f kb/s  %s\n", bucket.start.seconds(), kbps,
-                std::string(static_cast<size_t>(kbps / 20.0), '#').c_str());
+  for (const auto& [start_s, bytes] : r.delivered_buckets) {
+    const double kbps = bytes * 8.0 / r.bucket_seconds / 1000.0;
+    std::printf("%4.1fs  %6.0f kb/s  %s\n", start_s, kbps,
+                std::string(static_cast<size_t>(kbps / 40.0), '#').c_str());
   }
-  std::printf("\nhandoffs: %llu   packet loss: %.1f%%\n",
-              static_cast<unsigned long long>(tablet->mac().counters().handoffs),
-              100.0 * net.flow_stats().LossRate(1));
+  std::printf("\nhandoffs: %llu   packet loss: %.1f%%   mean delivered: %.0f kb/s\n",
+              static_cast<unsigned long long>(r.handoffs), 100.0 * r.loss_rate,
+              r.mean_delivered_kbps);
   return 0;
 }

@@ -1,93 +1,63 @@
-// Hidden-terminal demo: builds the two-senders-one-receiver topology with an
-// explicit loss matrix, runs it with RTS/CTS disabled and then enabled, and
-// prints the side-by-side comparison plus the MAC counters that explain it
-// (retries, CTS timeouts, duplicates).
+// Hidden-terminal demo, campaign edition: runs the registered
+// "hidden_terminal" scenario — two senders that share a receiver but cannot
+// hear each other — with RTS/CTS disabled and then enabled, five independent
+// replications each, and prints the side-by-side comparison with confidence
+// intervals.
 //
 // This is the scenario every 802.11 textbook uses to motivate virtual
-// carrier sensing: A and B cannot hear each other, so physical carrier
-// sense never defers, and their frames collide at R.
+// carrier sensing: A and B sense an idle medium, so physical carrier sense
+// never defers, and their frames collide at R.
 
 #include <cstdio>
 
-#include "net/network.h"
+#include "runner/campaign.h"
 #include "stats/table.h"
 
 using namespace wlansim;
 
 namespace {
 
-struct Outcome {
-  double goodput_mbps;
-  double retry_pct;
-  uint64_t cts_timeouts;
-  uint64_t drops;
-};
+CampaignResult RunAccess(bool rtscts) {
+  CampaignOptions options;
+  options.scenario = "hidden_terminal";
+  options.params.Set("rtscts", rtscts ? "true" : "false");
+  options.base_seed = 99;
+  options.replications = 5;
+  options.jobs = 0;  // all hardware threads
+  return RunCampaign(options);
+}
 
-Outcome RunOnce(bool use_rts) {
-  Network net(Network::Params{.seed = 99});
-  MatrixLossModel* loss = net.UseMatrixLoss(200.0);  // default: no link at all
-
-  auto mac_tweak = [use_rts](WifiMac::Config& c) {
-    c.rts_threshold = use_rts ? 0 : 65535;  // 0: RTS before every data frame
-  };
-  Node* r = net.AddNode(
-      {.role = MacRole::kAdhoc, .standard = PhyStandard::k80211b, .mac_tweak = mac_tweak});
-  Node* a = net.AddNode({.role = MacRole::kAdhoc,
-                         .standard = PhyStandard::k80211b,
-                         .position = {60, 0, 0},
-                         .mac_tweak = mac_tweak});
-  Node* b = net.AddNode({.role = MacRole::kAdhoc,
-                         .standard = PhyStandard::k80211b,
-                         .position = {-60, 0, 0},
-                         .mac_tweak = mac_tweak});
-
-  // A—R and B—R are good links; A—B stays at the 200 dB default: hidden.
-  loss->SetLoss(/*a=*/1, /*r=*/0, 70.0);
-  loss->SetLoss(/*b=*/2, /*r=*/0, 70.0);
-
-  const WifiMode mode = ModesFor(PhyStandard::k80211b).back();  // 11 Mb/s
-  a->SetRateController(std::make_unique<FixedRateController>(mode));
-  b->SetRateController(std::make_unique<FixedRateController>(mode));
-  net.StartAll();
-
-  a->AddTraffic<SaturatedTraffic>(r->address(), 1, 1500)->Start(Time::Seconds(1));
-  b->AddTraffic<SaturatedTraffic>(r->address(), 2, 1500)->Start(Time::Seconds(1));
-  net.Run(Time::Seconds(9));
-
-  Outcome out{};
-  out.goodput_mbps = net.flow_stats().GoodputMbps();
-  uint64_t attempts = 0;
-  uint64_t retries = 0;
-  for (Node* s : {a, b}) {
-    attempts += s->mac().counters().tx_data_attempts;
-    retries += s->mac().counters().retries;
-    out.cts_timeouts += s->mac().counters().cts_timeouts;
-    out.drops += s->mac().counters().tx_data_dropped;
+double Mean(const CampaignResult& r, const std::string& metric) {
+  for (const MetricAggregate& a : r.aggregates) {
+    if (a.metric == metric) {
+      return a.mean;
+    }
   }
-  out.retry_pct = attempts ? 100.0 * static_cast<double>(retries) / static_cast<double>(attempts)
-                           : 0.0;
-  return out;
+  return 0.0;
 }
 
 }  // namespace
 
 int main() {
-  std::printf("topology:  A (x=+60) --70dB-->  R (x=0)  <--70dB-- B (x=-60)\n");
+  std::printf("topology:  A (x=+50) --70dB-->  R (x=0)  <--70dB-- B (x=-50)\n");
   std::printf("           A and B share no link: each is hidden from the other.\n\n");
 
-  const Outcome basic = RunOnce(false);
-  const Outcome rts = RunOnce(true);
+  const CampaignResult basic = RunAccess(false);
+  const CampaignResult rts = RunAccess(true);
 
   Table table({"access", "agg_goodput_mbps", "retry_%", "cts_timeouts", "frames_dropped"});
-  table.AddRow({"basic (CSMA only)", Table::Num(basic.goodput_mbps, 2),
-                Table::Num(basic.retry_pct, 1), std::to_string(basic.cts_timeouts),
-                std::to_string(basic.drops)});
-  table.AddRow({"RTS/CTS", Table::Num(rts.goodput_mbps, 2), Table::Num(rts.retry_pct, 1),
-                std::to_string(rts.cts_timeouts), std::to_string(rts.drops)});
+  table.AddRow({"basic (CSMA only)", Table::Num(Mean(basic, "goodput_mbps"), 2),
+                Table::Num(100.0 * Mean(basic, "retry_rate"), 1),
+                Table::Num(Mean(basic, "cts_timeouts"), 1),
+                Table::Num(Mean(basic, "drops"), 1)});
+  table.AddRow({"RTS/CTS", Table::Num(Mean(rts, "goodput_mbps"), 2),
+                Table::Num(100.0 * Mean(rts, "retry_rate"), 1),
+                Table::Num(Mean(rts, "cts_timeouts"), 1), Table::Num(Mean(rts, "drops"), 1)});
   std::fputs(table.ToString().c_str(), stdout);
 
   std::printf(
-      "\nWith CSMA alone, A and B sense an idle medium and collide at R\n"
+      "\n(each row: mean of 5 independent replications)\n"
+      "With CSMA alone, A and B sense an idle medium and collide at R\n"
       "(high retry rate, dropped frames). The RTS/CTS handshake lets R's CTS\n"
       "silence the hidden sender for the whole exchange: collisions shrink to\n"
       "the cheap RTS frames (visible as CTS timeouts instead of data retries).\n");

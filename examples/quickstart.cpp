@@ -1,56 +1,59 @@
-// Quickstart: the smallest complete wlansim program.
+// Quickstart: the smallest complete wlansim program, twice.
 //
-// Builds one 802.11g BSS (an access point and a laptop 20 m away), runs a
-// saturated upload for ten simulated seconds, and prints the goodput, loss
-// and delay — about a dozen lines of scenario code.
-//
-//   $ ./quickstart
-//   associated to 02:00:00:00:00:01 after 102.4ms
-//   goodput: 25.1 Mb/s   loss: 0.0 %   mean delay: 1.8 ms
+// Part 1 builds one 802.11g BSS by hand (an access point and a laptop 20 m
+// away) and runs a saturated upload — the library API in a dozen lines.
+// Part 2 runs the same experiment through the campaign engine: the
+// registered "saturation" scenario, four independent replications on all
+// cores, aggregated into mean ± 95 % CI. Everything `wlansim_run` can do is
+// available in-process like this.
 
 #include <cstdio>
 
 #include "net/network.h"
 #include "rate/minstrel.h"
+#include "runner/campaign.h"
 
 using namespace wlansim;
 
 int main() {
-  // 1. A network owns the simulator, channel and statistics.
+  // --- Part 1: the library API -------------------------------------------
   Network net(Network::Params{.seed = 2026});
   net.UseLogDistanceLoss(3.0);  // indoor-ish path loss
 
-  // 2. Two nodes: an AP and a station 20 m away.
   Node* ap = net.AddNode({.role = MacRole::kAp, .standard = PhyStandard::k80211g,
                           .ssid = "quickstart"});
   Node* laptop = net.AddNode({.role = MacRole::kSta, .standard = PhyStandard::k80211g,
                               .ssid = "quickstart", .position = {20, 0, 0}});
-
-  // 3. A real driver rate-control algorithm.
   laptop->SetRateController(
       std::make_unique<MinstrelController>(PhyStandard::k80211g, net.ForkRng("minstrel")));
-
-  // 4. Report association as it happens.
   laptop->mac().SetAssociationCallback([&](bool up, MacAddress bssid) {
     if (up) {
       std::printf("associated to %s after %s\n", bssid.ToString().c_str(),
                   net.sim().Now().ToString().c_str());
     }
   });
-
-  // 5. Beacons, scanning, association.
   net.StartAll();
-
-  // 6. A backlogged upload from the laptop to the AP.
-  auto* upload = laptop->AddTraffic<SaturatedTraffic>(ap->address(), /*flow_id=*/1,
-                                                      /*payload_bytes=*/1500);
-  upload->Start(Time::Seconds(1));
-
-  // 7. Run and report.
+  laptop->AddTraffic<SaturatedTraffic>(ap->address(), /*flow_id=*/1, /*payload_bytes=*/1500)
+      ->Start(Time::Seconds(1));
   net.Run(Time::Seconds(11));
   const auto* flow = net.flow_stats().Find(1);
-  std::printf("goodput: %.1f Mb/s   loss: %.1f %%   mean delay: %.1f ms\n",
+  std::printf("goodput: %.1f Mb/s   loss: %.1f %%   mean delay: %.1f ms\n\n",
               net.flow_stats().GoodputMbps(1), 100.0 * net.flow_stats().LossRate(1),
               flow != nullptr ? flow->delay_us.mean() / 1000.0 : 0.0);
+
+  // --- Part 2: the same experiment as a campaign -------------------------
+  CampaignOptions options;
+  options.scenario = "saturation";
+  options.params.Set("standard", "11g");
+  options.params.Set("distance", "20");
+  options.replications = 4;
+  options.jobs = 0;  // all hardware threads
+  const CampaignResult campaign = RunCampaign(options);
+  std::printf("campaign: %llu replications of '%s'\n",
+              static_cast<unsigned long long>(campaign.replications.size()),
+              campaign.scenario.c_str());
+  for (const MetricAggregate& a : campaign.aggregates) {
+    std::printf("  %-14s %.3f ± %.3f\n", a.metric.c_str(), a.mean, a.ci95_half);
+  }
   return 0;
 }

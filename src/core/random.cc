@@ -38,6 +38,19 @@ Rng::Rng(uint64_t seed) {
   }
 }
 
+uint64_t SubstreamSeed(uint64_t root_seed, std::string_view stream, uint64_t index) {
+  // A short SplitMix64 sponge: absorb the stream name and the replication
+  // index between squeezes so nearby (seed, index) pairs land far apart.
+  uint64_t s = root_seed;
+  s = SplitMix64(s) ^ HashName(stream);
+  s = SplitMix64(s) ^ index;
+  return SplitMix64(s);
+}
+
+Rng Rng::Substream(uint64_t root_seed, std::string_view stream, uint64_t index) {
+  return Rng(SubstreamSeed(root_seed, stream, index));
+}
+
 Rng Rng::Fork(std::string_view stream_name) const {
   // Combine the current state (not advanced) with the stream name so forks
   // are independent of draw order on the parent.

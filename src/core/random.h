@@ -23,6 +23,12 @@ class Rng {
   // always produce the same stream.
   Rng Fork(std::string_view stream_name) const;
 
+  // Stateless named-substream derivation for parallel replication: identical
+  // (root_seed, stream, index) triples produce identical generators, no
+  // matter which thread creates them or in which order. This is what makes
+  // campaign results independent of the worker count.
+  static Rng Substream(uint64_t root_seed, std::string_view stream, uint64_t index);
+
   // Raw 64 uniform bits.
   uint64_t NextU64();
 
@@ -51,6 +57,10 @@ class Rng {
   bool have_cached_normal_ = false;
   double cached_normal_ = 0.0;
 };
+
+// The seed underlying Rng::Substream, exposed so callers that need a plain
+// integer seed (e.g. Network::Params) can derive it the same way.
+uint64_t SubstreamSeed(uint64_t root_seed, std::string_view stream, uint64_t index);
 
 }  // namespace wlansim
 

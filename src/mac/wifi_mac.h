@@ -175,11 +175,11 @@ class WifiMac final : public PhyListener {
     std::vector<std::pair<size_t, size_t>> fragments;  // (offset, length) into msdu
     size_t current_fragment = 0;
     uint8_t retries = 0;
-    uint32_t cw;
+    uint32_t cw = 0;
     uint16_t sequence = 0;
     bool awaiting_cts = false;
     bool awaiting_ack = false;
-    WifiMode data_mode;
+    WifiMode data_mode{};
   };
 
   size_t AcIndexFor(uint8_t priority) const;
@@ -296,8 +296,8 @@ class WifiMac final : public PhyListener {
 
   // AP state.
   struct StaInfo {
-    uint16_t aid;
-    bool erp;              // peer can decode OFDM
+    uint16_t aid = 0;
+    bool erp = false;      // peer can decode OFDM
     bool dozing = false;   // last seen power-management bit
     std::deque<MacQueue::Item> ps_buffer;
   };

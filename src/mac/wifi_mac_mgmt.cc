@@ -263,8 +263,10 @@ void WifiMac::HandleManagement(const MacHeader& header, Packet packet, const RxI
       if (!body.has_value() || body->ssid != config_.ssid) {
         return;
       }
-      auto [it, inserted] =
-          associated_stas_.try_emplace(header.addr2, StaInfo{next_aid_, body->IsErp()});
+      StaInfo info;
+      info.aid = next_aid_;
+      info.erp = body->IsErp();
+      auto [it, inserted] = associated_stas_.try_emplace(header.addr2, std::move(info));
       if (inserted) {
         ++next_aid_;
       }

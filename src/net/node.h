@@ -28,8 +28,8 @@ class Node {
     Vector3 position{};
     uint8_t channel = 1;
     // Optional fine-tuning hooks applied after defaults are filled in.
-    std::function<void(WifiPhy::Config&)> phy_tweak;
-    std::function<void(WifiMac::Config&)> mac_tweak;
+    std::function<void(WifiPhy::Config&)> phy_tweak = nullptr;
+    std::function<void(WifiMac::Config&)> mac_tweak = nullptr;
   };
 
   Node(Simulator* sim, Channel* channel, uint32_t id, const Config& config, Rng rng,

@@ -1,0 +1,87 @@
+#include "runner/campaign.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "core/random.h"
+#include "runner/scenario_registry.h"
+
+namespace wlansim {
+
+CampaignResult Campaign::Run(const CampaignOptions& options) const {
+  const uint64_t reps = options.replications;
+  unsigned jobs = options.jobs != 0 ? options.jobs : std::thread::hardware_concurrency();
+  if (jobs == 0) {
+    jobs = 1;
+  }
+  if (reps < jobs) {
+    jobs = static_cast<unsigned>(reps > 0 ? reps : 1);
+  }
+
+  ResultSink sink(reps);
+  std::atomic<uint64_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto worker = [&]() {
+    for (uint64_t i = next.fetch_add(1); i < reps; i = next.fetch_add(1)) {
+      if (failed.load(std::memory_order_relaxed)) {
+        return;  // a replication already threw; don't burn the remaining reps
+      }
+      try {
+        ReplicationContext ctx;
+        ctx.replication = i;
+        ctx.seed = SubstreamSeed(options.base_seed, scenario_.name(), i);
+        sink.Store(i, scenario_.Run(options.params, ctx));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+
+  CampaignResult result;
+  result.scenario = std::string(scenario_.name());
+  result.base_seed = options.base_seed;
+  result.aggregates = sink.Aggregate();
+  result.replications = sink.replications();
+  return result;
+}
+
+CampaignResult RunCampaign(const CampaignOptions& options) {
+  const Scenario* scenario = ScenarioRegistry::Global().Find(options.scenario);
+  if (scenario == nullptr) {
+    std::string msg = "unknown scenario '" + options.scenario + "'; available:";
+    for (const std::string& name : ScenarioRegistry::Global().Names()) {
+      msg += " " + name;
+    }
+    throw std::invalid_argument(msg);
+  }
+  scenario->ValidateParams(options.params);
+  return Campaign(*scenario).Run(options);
+}
+
+}  // namespace wlansim

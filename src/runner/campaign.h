@@ -1,0 +1,57 @@
+// The Campaign runner: executes N independent replications of a registered
+// scenario across a std::thread worker pool. Each replication gets its own
+// Simulator (built inside the scenario) and a substream-derived seed, so
+// results are deterministic and byte-identical for any worker count.
+
+#ifndef WLANSIM_RUNNER_CAMPAIGN_H_
+#define WLANSIM_RUNNER_CAMPAIGN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/result_sink.h"
+#include "runner/scenario.h"
+
+namespace wlansim {
+
+class ScenarioRegistry;
+
+struct CampaignOptions {
+  std::string scenario;
+  ScenarioParams params;
+  uint64_t base_seed = 1;
+  uint64_t replications = 1;
+  // Worker threads; 0 = std::thread::hardware_concurrency().
+  unsigned jobs = 1;
+};
+
+struct CampaignResult {
+  std::string scenario;
+  uint64_t base_seed = 1;
+  std::vector<ReplicationResult> replications;  // indexed by replication number
+  std::vector<MetricAggregate> aggregates;      // ordered by metric name
+};
+
+class Campaign {
+ public:
+  explicit Campaign(const Scenario& scenario) : scenario_(scenario) {}
+
+  // Runs options.replications replications on options.jobs worker threads.
+  // Replication i runs with seed SubstreamSeed(base_seed, scenario, i): the
+  // assignment of replications to threads never affects any result.
+  // Scenario exceptions are rethrown on the calling thread.
+  CampaignResult Run(const CampaignOptions& options) const;
+
+ private:
+  const Scenario& scenario_;
+};
+
+// Looks `options.scenario` up in ScenarioRegistry::Global(), validates the
+// params, and runs the campaign. Throws std::invalid_argument for an unknown
+// scenario or parameter.
+CampaignResult RunCampaign(const CampaignOptions& options);
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_RUNNER_CAMPAIGN_H_

@@ -1,0 +1,201 @@
+// wlansim_run — the campaign CLI. Runs N independent replications of any
+// registered scenario across a worker pool and prints (or writes) the
+// aggregated results.
+//
+//   wlansim_run --list
+//   wlansim_run --describe=saturation
+//   wlansim_run --scenario=saturation --reps=8 --jobs=4 --param n_stas=10
+//   wlansim_run --scenario=edca --reps=16 --jobs=0 --csv=agg.csv --json=agg.json
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <string>
+
+#include "runner/campaign.h"
+#include "runner/scenario_registry.h"
+#include "stats/table.h"
+
+namespace wlansim {
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: wlansim_run --scenario=NAME [options]\n"
+      "\n"
+      "options:\n"
+      "  --scenario=NAME     registered scenario to run (see --list)\n"
+      "  --reps=N            independent replications (default 1)\n"
+      "  --jobs=N            worker threads; 0 = all hardware threads (default 1)\n"
+      "  --seed=N            campaign base seed (default 1)\n"
+      "  --param KEY=VALUE   scenario parameter (repeatable; also --param=KEY=VALUE)\n"
+      "  --csv=FILE          write the aggregate table as CSV\n"
+      "  --json=FILE         write the aggregate table as JSON\n"
+      "  --reps-csv=FILE     write one CSV row per replication\n"
+      "  --list              list registered scenarios\n"
+      "  --describe=NAME     show a scenario's parameters and defaults\n"
+      "  --quiet             suppress the stdout table\n");
+}
+
+int ListScenarios() {
+  const ScenarioRegistry& registry = ScenarioRegistry::Global();
+  Table table({"scenario", "description"});
+  for (const std::string& name : registry.Names()) {
+    table.AddRow({name, std::string(registry.Find(name)->description())});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}
+
+int DescribeScenario(const std::string& name) {
+  const Scenario* scenario = ScenarioRegistry::Global().Find(name);
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s'; run --list\n", name.c_str());
+    return 1;
+  }
+  std::printf("%s — %s\n\n", name.c_str(), std::string(scenario->description()).c_str());
+  Table table({"parameter", "default", "help"});
+  for (const ParamSpec& spec : scenario->param_specs()) {
+    table.AddRow({spec.name, spec.default_value, spec.help});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}
+
+bool WriteFileOrComplain(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  CampaignOptions options;
+  std::string csv_path;
+  std::string json_path;
+  std::string reps_csv_path;
+  bool quiet = false;
+
+  auto value_of = [](const char* arg, const char* flag) -> const char* {
+    const size_t n = std::strlen(flag);
+    return std::strncmp(arg, flag, n) == 0 && arg[n] == '=' ? arg + n + 1 : nullptr;
+  };
+  // Digits-only parse: stoull would accept "-1" (wrapping to 2^64-1) and
+  // terminate the process on "abc"; a flag typo deserves a usage error.
+  bool parse_failed = false;
+  auto parse_u64 = [&parse_failed](const char* flag, const char* v) -> uint64_t {
+    if (*v == '\0' || std::strspn(v, "0123456789") != std::strlen(v)) {
+      std::fprintf(stderr, "%s expects a non-negative integer, got '%s'\n", flag, v);
+      parse_failed = true;
+      return 0;
+    }
+    try {
+      return std::stoull(v);
+    } catch (const std::out_of_range&) {
+      std::fprintf(stderr, "%s value '%s' is out of range\n", flag, v);
+      parse_failed = true;
+      return 0;
+    }
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintUsage();
+      return 0;
+    } else if (std::strcmp(arg, "--list") == 0) {
+      return ListScenarios();
+    } else if ((v = value_of(arg, "--describe")) != nullptr) {
+      return DescribeScenario(v);
+    } else if ((v = value_of(arg, "--scenario")) != nullptr) {
+      options.scenario = v;
+    } else if ((v = value_of(arg, "--reps")) != nullptr) {
+      options.replications = parse_u64("--reps", v);
+    } else if ((v = value_of(arg, "--jobs")) != nullptr) {
+      options.jobs = static_cast<unsigned>(parse_u64("--jobs", v));
+    } else if ((v = value_of(arg, "--seed")) != nullptr) {
+      options.base_seed = parse_u64("--seed", v);
+    } else if ((v = value_of(arg, "--param")) != nullptr ||
+               (std::strcmp(arg, "--param") == 0 && i + 1 < argc && (v = argv[++i]) != nullptr)) {
+      const char* eq = std::strchr(v, '=');
+      if (eq == nullptr || eq == v) {
+        std::fprintf(stderr, "--param expects KEY=VALUE, got '%s'\n", v);
+        return 1;
+      }
+      options.params.Set(std::string(v, eq), std::string(eq + 1));
+    } else if ((v = value_of(arg, "--csv")) != nullptr) {
+      csv_path = v;
+    } else if ((v = value_of(arg, "--json")) != nullptr) {
+      json_path = v;
+    } else if ((v = value_of(arg, "--reps-csv")) != nullptr) {
+      reps_csv_path = v;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n\n", arg);
+      PrintUsage();
+      return 1;
+    }
+  }
+
+  if (parse_failed) {
+    return 1;
+  }
+  if (options.scenario.empty()) {
+    PrintUsage();
+    return 1;
+  }
+  if (options.replications == 0) {
+    std::fprintf(stderr, "--reps must be at least 1\n");
+    return 1;
+  }
+
+  CampaignResult result;
+  try {
+    result = RunCampaign(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  const std::string agg_csv = ResultSink::AggregatesToCsv(result.aggregates);
+  if (!quiet) {
+    std::printf("=== %s: %llu replication(s), base seed %llu ===\n", result.scenario.c_str(),
+                static_cast<unsigned long long>(result.replications.size()),
+                static_cast<unsigned long long>(result.base_seed));
+    Table table({"metric", "count", "mean", "stddev", "ci95_half", "min", "max"});
+    for (const MetricAggregate& a : result.aggregates) {
+      table.AddRow({a.metric, std::to_string(a.count), Table::Num(a.mean, 4),
+                    Table::Num(a.stddev, 4), Table::Num(a.ci95_half, 4), Table::Num(a.min, 4),
+                    Table::Num(a.max, 4)});
+    }
+    std::fputs(table.ToString().c_str(), stdout);
+  }
+  if (!csv_path.empty() && !WriteFileOrComplain(csv_path, agg_csv)) {
+    return 1;
+  }
+  if (!json_path.empty() &&
+      !WriteFileOrComplain(json_path,
+                           ResultSink::AggregatesToJson(
+                               result.scenario, result.replications.size(), result.aggregates))) {
+    return 1;
+  }
+  if (!reps_csv_path.empty() &&
+      !WriteFileOrComplain(reps_csv_path, ResultSink::ReplicationsToCsv(result.replications))) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace wlansim
+
+int main(int argc, char** argv) {
+  return wlansim::Main(argc, argv);
+}

@@ -1,0 +1,139 @@
+#include "runner/result_sink.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "stats/summary.h"
+
+namespace wlansim {
+namespace {
+
+// Fixed-width, locale-independent number formatting so identical campaigns
+// produce byte-identical files.
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+double StudentT95(uint64_t df) {
+  // Two-sided 95 % critical values; exact to three decimals for df <= 30,
+  // then the standard interpolation anchors. Campaigns with one replication
+  // have no variance estimate: return infinity so the CI is honest.
+  static const double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (df <= 30) {
+    return kTable[df - 1];
+  }
+  if (df <= 40) {
+    return 2.021;
+  }
+  if (df <= 60) {
+    return 2.000;
+  }
+  if (df <= 120) {
+    return 1.980;
+  }
+  return 1.960;
+}
+
+ResultSink::ResultSink(size_t replications) : replications_(replications) {}
+
+void ResultSink::Store(size_t replication, ReplicationResult result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(replication < replications_.size());
+  replications_[replication] = std::move(result);
+}
+
+std::vector<MetricAggregate> ResultSink::Aggregate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Summary> by_metric;
+  for (const ReplicationResult& rep : replications_) {
+    for (const auto& [name, value] : rep.metrics) {
+      by_metric[name].Add(value);
+    }
+  }
+  std::vector<MetricAggregate> out;
+  out.reserve(by_metric.size());
+  for (const auto& [name, summary] : by_metric) {
+    MetricAggregate agg;
+    agg.metric = name;
+    agg.count = summary.count();
+    agg.mean = summary.mean();
+    agg.stddev = summary.stddev();
+    agg.ci95_half = summary.count() > 1
+                        ? StudentT95(summary.count() - 1) * summary.stddev() /
+                              std::sqrt(static_cast<double>(summary.count()))
+                        : 0.0;
+    agg.min = summary.min();
+    agg.max = summary.max();
+    out.push_back(std::move(agg));
+  }
+  return out;
+}
+
+std::string ResultSink::ReplicationsToCsv(const std::vector<ReplicationResult>& replications) {
+  std::set<std::string> columns;
+  for (const ReplicationResult& rep : replications) {
+    for (const auto& [name, value] : rep.metrics) {
+      columns.insert(name);
+    }
+  }
+  std::string csv = "replication";
+  for (const std::string& c : columns) {
+    csv += "," + c;
+  }
+  csv += "\n";
+  for (size_t i = 0; i < replications.size(); ++i) {
+    csv += std::to_string(i);
+    for (const std::string& c : columns) {
+      auto it = replications[i].metrics.find(c);
+      csv += ",";
+      if (it != replications[i].metrics.end()) {
+        csv += Num(it->second);
+      }
+    }
+    csv += "\n";
+  }
+  return csv;
+}
+
+std::string ResultSink::AggregatesToCsv(const std::vector<MetricAggregate>& aggregates) {
+  std::string csv = "metric,count,mean,stddev,ci95_half,min,max\n";
+  for (const MetricAggregate& a : aggregates) {
+    csv += a.metric + "," + std::to_string(a.count) + "," + Num(a.mean) + "," + Num(a.stddev) +
+           "," + Num(a.ci95_half) + "," + Num(a.min) + "," + Num(a.max) + "\n";
+  }
+  return csv;
+}
+
+std::string ResultSink::AggregatesToJson(const std::string& scenario_name,
+                                         uint64_t replications,
+                                         const std::vector<MetricAggregate>& aggregates) {
+  std::string json = "{\n  \"scenario\": \"" + scenario_name + "\",\n  \"replications\": " +
+                     std::to_string(replications) + ",\n  \"metrics\": {";
+  bool first = true;
+  for (const MetricAggregate& a : aggregates) {
+    json += first ? "\n" : ",\n";
+    first = false;
+    json += "    \"" + a.metric + "\": {\"count\": " + std::to_string(a.count) +
+            ", \"mean\": " + Num(a.mean) + ", \"stddev\": " + Num(a.stddev) +
+            ", \"ci95_half\": " + Num(a.ci95_half) + ", \"min\": " + Num(a.min) +
+            ", \"max\": " + Num(a.max) + "}";
+  }
+  json += "\n  }\n}\n";
+  return json;
+}
+
+}  // namespace wlansim

@@ -1,0 +1,64 @@
+// Collects per-replication metric rows and aggregates them into
+// mean / stddev / 95 % confidence intervals, with CSV and JSON writers.
+
+#ifndef WLANSIM_RUNNER_RESULT_SINK_H_
+#define WLANSIM_RUNNER_RESULT_SINK_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runner/scenario.h"
+
+namespace wlansim {
+
+// Aggregate of one metric across replications.
+struct MetricAggregate {
+  std::string metric;
+  uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;    // sample standard deviation
+  double ci95_half = 0.0; // Student-t 95 % confidence half-width on the mean
+  double min = 0.0;
+  double max = 0.0;
+};
+
+// Two-sided 95 % Student-t critical value for `df` degrees of freedom
+// (asymptotically 1.960). Exposed for the aggregation test.
+double StudentT95(uint64_t df);
+
+class ResultSink {
+ public:
+  // Sized upfront so workers can store results by replication index; the
+  // aggregate therefore never depends on completion order.
+  explicit ResultSink(size_t replications);
+
+  // Thread-safe; each index must be set exactly once.
+  void Store(size_t replication, ReplicationResult result);
+
+  const std::vector<ReplicationResult>& replications() const { return replications_; }
+
+  // Per-metric aggregates over every stored replication, ordered by metric
+  // name. Metrics absent from some replications aggregate over the
+  // replications that do report them.
+  std::vector<MetricAggregate> Aggregate() const;
+
+  // One CSV row per replication: replication,<metric columns sorted by name>.
+  static std::string ReplicationsToCsv(const std::vector<ReplicationResult>& replications);
+
+  // One CSV row per metric: metric,count,mean,stddev,ci95_half,min,max.
+  static std::string AggregatesToCsv(const std::vector<MetricAggregate>& aggregates);
+
+  // {"scenario": ..., "replications": N, "metrics": {name: {...}, ...}}
+  static std::string AggregatesToJson(const std::string& scenario_name, uint64_t replications,
+                                      const std::vector<MetricAggregate>& aggregates);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ReplicationResult> replications_;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_RUNNER_RESULT_SINK_H_

@@ -1,0 +1,112 @@
+#include "runner/scenario.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wlansim {
+namespace {
+
+[[noreturn]] void ThrowBadValue(const std::string& key, const std::string& value,
+                                const char* expected) {
+  throw std::invalid_argument("parameter '" + key + "': cannot parse '" + value + "' as " +
+                             expected);
+}
+
+}  // namespace
+
+void ScenarioParams::Set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool ScenarioParams::Has(const std::string& key) const {
+  return entries_.count(key) != 0;
+}
+
+std::string ScenarioParams::GetString(const std::string& key, std::string def) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? std::move(def) : it->second;
+}
+
+double ScenarioParams::GetDouble(const std::string& key, double def) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return def;
+  }
+  try {
+    size_t consumed = 0;
+    const double v = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) {
+      ThrowBadValue(key, it->second, "a number");
+    }
+    return v;
+  } catch (const std::invalid_argument&) {
+    ThrowBadValue(key, it->second, "a number");
+  } catch (const std::out_of_range&) {
+    ThrowBadValue(key, it->second, "a number");
+  }
+}
+
+int64_t ScenarioParams::GetInt(const std::string& key, int64_t def) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return def;
+  }
+  try {
+    size_t consumed = 0;
+    const int64_t v = std::stoll(it->second, &consumed);
+    if (consumed != it->second.size()) {
+      ThrowBadValue(key, it->second, "an integer");
+    }
+    return v;
+  } catch (const std::invalid_argument&) {
+    ThrowBadValue(key, it->second, "an integer");
+  } catch (const std::out_of_range&) {
+    ThrowBadValue(key, it->second, "an integer");
+  }
+}
+
+uint64_t ScenarioParams::GetUint(const std::string& key, uint64_t def) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return def;
+  }
+  const int64_t v = GetInt(key, 0);
+  if (v < 0) {
+    ThrowBadValue(key, it->second, "a non-negative integer");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+bool ScenarioParams::GetBool(const std::string& key, bool def) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return def;
+  }
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "no" || v == "off") {
+    return false;
+  }
+  ThrowBadValue(key, v, "a boolean (true/false)");
+}
+
+void Scenario::ValidateParams(const ScenarioParams& params) const {
+  const std::vector<ParamSpec> specs = param_specs();
+  for (const auto& [key, value] : params.entries()) {
+    const bool known = std::any_of(specs.begin(), specs.end(),
+                                   [&key](const ParamSpec& s) { return s.name == key; });
+    if (!known) {
+      std::string msg = "scenario '" + std::string(name()) + "' has no parameter '" + key +
+                        "'; known parameters:";
+      for (const ParamSpec& s : specs) {
+        msg += " " + s.name;
+      }
+      throw std::invalid_argument(msg);
+    }
+    (void)value;
+  }
+}
+
+}  // namespace wlansim

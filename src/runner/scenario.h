@@ -1,0 +1,111 @@
+// The Scenario abstraction: a named, parameterised experiment that runs one
+// independent replication and returns scalar metrics. Scenarios are pure
+// functions of (params, seed) — they build their own Network/Simulator, so
+// many replications can run concurrently on different threads.
+
+#ifndef WLANSIM_RUNNER_SCENARIO_H_
+#define WLANSIM_RUNNER_SCENARIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wlansim {
+
+// Typed view over "--param key=value" pairs. Values are kept as strings and
+// parsed on access; a malformed value throws std::invalid_argument naming the
+// key so the CLI can report it.
+class ScenarioParams {
+ public:
+  void Set(std::string key, std::string value);
+  bool Has(const std::string& key) const;
+
+  std::string GetString(const std::string& key, std::string def) const;
+  double GetDouble(const std::string& key, double def) const;
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  // Like GetInt but rejects negative values (counts, sizes, thresholds):
+  // without this, a typo'd "-1" would silently become 2^64-1 of something.
+  uint64_t GetUint(const std::string& key, uint64_t def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+// Scalar metrics from one replication, keyed by metric name. std::map keeps
+// iteration (and therefore aggregation and CSV/JSON column order)
+// deterministic.
+struct ReplicationResult {
+  std::map<std::string, double> metrics;
+};
+
+// Per-replication context handed to Scenario::Run. The seed is derived via
+// Rng::Substream(base_seed, scenario_name, replication), so it does not
+// depend on which thread executes the replication.
+struct ReplicationContext {
+  uint64_t seed = 1;
+  uint64_t replication = 0;
+};
+
+// One documented parameter of a scenario.
+struct ParamSpec {
+  std::string name;
+  std::string default_value;
+  std::string help;
+};
+
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+  virtual std::vector<ParamSpec> param_specs() const { return {}; }
+
+  // Runs one replication. Must not touch global mutable state: the campaign
+  // runner calls this from multiple threads at once.
+  virtual ReplicationResult Run(const ScenarioParams& params,
+                                const ReplicationContext& ctx) const = 0;
+
+  // Rejects parameters that are not in param_specs() (catches typos before a
+  // campaign silently runs the default configuration N times).
+  void ValidateParams(const ScenarioParams& params) const;
+};
+
+// Function-backed scenario, the terse registration form used by the built-in
+// scenario table and by examples.
+class FunctionScenario final : public Scenario {
+ public:
+  using RunFn =
+      std::function<ReplicationResult(const ScenarioParams&, const ReplicationContext&)>;
+
+  FunctionScenario(std::string name, std::string description,
+                   std::vector<ParamSpec> param_specs, RunFn fn)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        param_specs_(std::move(param_specs)),
+        fn_(std::move(fn)) {}
+
+  std::string_view name() const override { return name_; }
+  std::string_view description() const override { return description_; }
+  std::vector<ParamSpec> param_specs() const override { return param_specs_; }
+  ReplicationResult Run(const ScenarioParams& params,
+                        const ReplicationContext& ctx) const override {
+    return fn_(params, ctx);
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+  std::vector<ParamSpec> param_specs_;
+  RunFn fn_;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_RUNNER_SCENARIO_H_

@@ -1,0 +1,280 @@
+// The built-in scenario table: every canonical topology from the paper's
+// experiment set, registered by name so campaigns, benches and examples all
+// run the same code. Each entry maps ScenarioParams onto the corresponding
+// builder struct and flattens the result into named metrics.
+
+#include <stdexcept>
+
+#include "runner/builders.h"
+#include "runner/scenario_registry.h"
+
+namespace wlansim {
+namespace {
+
+PhyStandard ParseStandard(const std::string& s) {
+  if (s == "11" || s == "802.11") {
+    return PhyStandard::k80211;
+  }
+  if (s == "11b" || s == "802.11b") {
+    return PhyStandard::k80211b;
+  }
+  if (s == "11a" || s == "802.11a") {
+    return PhyStandard::k80211a;
+  }
+  if (s == "11g" || s == "802.11g") {
+    return PhyStandard::k80211g;
+  }
+  throw std::invalid_argument("unknown PHY standard '" + s + "' (use 11/11b/11a/11g)");
+}
+
+CipherSuite ParseCipher(const std::string& s) {
+  if (s == "open") {
+    return CipherSuite::kOpen;
+  }
+  if (s == "wep") {
+    return CipherSuite::kWep;
+  }
+  if (s == "tkip") {
+    return CipherSuite::kTkip;
+  }
+  if (s == "ccmp") {
+    return CipherSuite::kCcmp;
+  }
+  throw std::invalid_argument("unknown cipher '" + s + "' (use open/wep/tkip/ccmp)");
+}
+
+ReplicationResult FromRunResult(const RunResult& r) {
+  ReplicationResult out;
+  out.metrics["goodput_mbps"] = r.goodput_mbps;
+  out.metrics["loss_rate"] = r.loss_rate;
+  out.metrics["mean_delay_ms"] = r.mean_delay_ms;
+  out.metrics["retries"] = static_cast<double>(r.retries);
+  out.metrics["tx_attempts"] = static_cast<double>(r.tx_attempts);
+  out.metrics["rx_ok"] = static_cast<double>(r.rx_ok);
+  return out;
+}
+
+void RegisterSaturation(ScenarioRegistry& r) {
+  r.Register(
+      "saturation", "Saturated uplink BSS: n backlogged stations on a circle around one AP",
+      {{"standard", "11b", "PHY standard: 11/11b/11a/11g"},
+       {"n_stas", "1", "number of saturated stations"},
+       {"payload", "1500", "MSDU payload bytes"},
+       {"distance", "10", "station-AP distance in metres"},
+       {"rts_threshold", "65535", "RTS/CTS threshold in bytes (65535 = off)"},
+       {"cipher", "open", "link cipher: open/wep/tkip/ccmp"},
+       {"rate_index", "-1", "fixed rate index into the standard's mode table (-1 = highest)"},
+       {"sim_time_s", "6", "measured simulation seconds (after 1 s warmup)"}},
+      [](const ScenarioParams& params, const ReplicationContext& ctx) {
+        SaturationParams p;
+        p.standard = ParseStandard(params.GetString("standard", "11b"));
+        p.n_stas = static_cast<size_t>(params.GetUint("n_stas", 1));
+        p.payload = static_cast<size_t>(params.GetUint("payload", 1500));
+        p.distance = params.GetDouble("distance", 10.0);
+        p.rts_threshold = static_cast<uint32_t>(params.GetUint("rts_threshold", 65535));
+        p.cipher = ParseCipher(params.GetString("cipher", "open"));
+        const int64_t rate_index = params.GetInt("rate_index", -1);
+        p.rate_index = rate_index < 0 ? SIZE_MAX : static_cast<size_t>(rate_index);
+        p.sim_time = Time::Seconds(params.GetDouble("sim_time_s", 6.0));
+        p.seed = ctx.seed;
+        return FromRunResult(RunSaturationScenario(p));
+      });
+}
+
+void RegisterHiddenTerminal(ScenarioRegistry& r) {
+  r.Register(
+      "hidden_terminal",
+      "Two senders that cannot hear each other sharing one receiver (matrix loss)",
+      {{"hidden", "true", "remove the sender-sender link"},
+       {"rtscts", "false", "enable the RTS/CTS handshake"},
+       {"payload", "1500", "MSDU payload bytes"},
+       {"sim_time_s", "6", "measured simulation seconds (after 1 s warmup)"}},
+      [](const ScenarioParams& params, const ReplicationContext& ctx) {
+        HiddenTerminalParams p;
+        p.hidden = params.GetBool("hidden", true);
+        p.rtscts = params.GetBool("rtscts", false);
+        p.payload = static_cast<size_t>(params.GetUint("payload", 1500));
+        p.sim_time = Time::Seconds(params.GetDouble("sim_time_s", 6.0));
+        p.seed = ctx.seed;
+        const HiddenTerminalResult res = RunHiddenTerminalScenario(p);
+        ReplicationResult out;
+        out.metrics["goodput_mbps"] = res.goodput_mbps;
+        out.metrics["retry_rate"] = res.retry_rate;
+        out.metrics["drop_rate"] = res.drop_rate;
+        out.metrics["cts_timeouts"] = static_cast<double>(res.cts_timeouts);
+        out.metrics["drops"] = static_cast<double>(res.drops);
+        return out;
+      });
+}
+
+void RegisterEdca(ScenarioRegistry& r) {
+  r.Register(
+      "edca", "A VoIP flow (AC_VO) vs k saturating bulk uploaders (AC_BK), QoS on or off",
+      {{"qos", "true", "enable 802.11e EDCA"},
+       {"bulk_stations", "3", "number of saturating AC_BK stations"},
+       {"sim_time_s", "6", "measured simulation seconds (after 1 s warmup)"}},
+      [](const ScenarioParams& params, const ReplicationContext& ctx) {
+        EdcaQosParams p;
+        p.qos = params.GetBool("qos", true);
+        p.bulk_stations = static_cast<size_t>(params.GetUint("bulk_stations", 3));
+        p.sim_time = Time::Seconds(params.GetDouble("sim_time_s", 6.0));
+        p.seed = ctx.seed;
+        const EdcaQosResult res = RunEdcaScenario(p);
+        ReplicationResult out;
+        out.metrics["voice_delay_ms"] = res.voice_delay_ms;
+        out.metrics["voice_jitter_ms"] = res.voice_jitter_ms;
+        out.metrics["voice_loss_rate"] = res.voice_loss;
+        out.metrics["bulk_mbps"] = res.bulk_mbps;
+        return out;
+      });
+}
+
+void RegisterRateVsDistance(ScenarioRegistry& r) {
+  r.Register(
+      "rate_vs_distance",
+      "Single saturated link at a given distance, fixed rate or a rate-control algorithm",
+      {{"standard", "11b", "PHY standard: 11/11b/11a/11g"},
+       {"distance", "60", "link distance in metres"},
+       {"controller", "", "rate controller: arf/aarf/onoe/samplerate/minstrel (empty = fixed)"},
+       {"rate_index", "0", "fixed rate index (when controller is empty)"},
+       {"payload", "1200", "MSDU payload bytes"},
+       {"sim_time_s", "4", "measured simulation seconds (after 1 s warmup)"}},
+      [](const ScenarioParams& params, const ReplicationContext& ctx) {
+        LinkParams p;
+        p.standard = ParseStandard(params.GetString("standard", "11b"));
+        p.distance = params.GetDouble("distance", 60.0);
+        p.controller = params.GetString("controller", "");
+        p.rate_index = static_cast<size_t>(params.GetUint("rate_index", 0));
+        p.payload = static_cast<size_t>(params.GetUint("payload", 1200));
+        p.sim_time = Time::Seconds(params.GetDouble("sim_time_s", 4.0));
+        p.seed = ctx.seed;
+        return FromRunResult(RunLinkScenario(p));
+      });
+}
+
+void RegisterIsmInterference(ScenarioRegistry& r) {
+  r.Register(
+      "ism_interference",
+      "A saturated 12 m link sharing the band with a microwave oven at a given distance",
+      {{"standard", "11b", "PHY standard (11a moves to 5 GHz and is immune)"},
+       {"oven_distance", "3", "oven-receiver distance in metres (0 = no oven)"},
+       {"sim_time_s", "6", "measured simulation seconds (after 1 s warmup)"}},
+      [](const ScenarioParams& params, const ReplicationContext& ctx) {
+        IsmParams p;
+        p.standard = ParseStandard(params.GetString("standard", "11b"));
+        p.oven_distance = params.GetDouble("oven_distance", 3.0);
+        p.sim_time = Time::Seconds(params.GetDouble("sim_time_s", 6.0));
+        p.seed = ctx.seed;
+        return FromRunResult(RunIsmInterferenceScenario(p));
+      });
+}
+
+void RegisterAdhocVsInfra(ScenarioRegistry& r) {
+  r.Register(
+      "adhoc_vs_infra", "n CBR pairs exchanging traffic peer-to-peer or relayed through an AP",
+      {{"adhoc", "true", "true = IBSS peer-to-peer, false = relay through an AP"},
+       {"n_pairs", "2", "number of CBR source/sink pairs"},
+       {"sim_time_s", "8", "measured simulation seconds (after 1 s warmup)"}},
+      [](const ScenarioParams& params, const ReplicationContext& ctx) {
+        AdhocInfraParams p;
+        p.adhoc = params.GetBool("adhoc", true);
+        p.n_pairs = static_cast<size_t>(params.GetUint("n_pairs", 2));
+        p.sim_time = Time::Seconds(params.GetDouble("sim_time_s", 8.0));
+        p.seed = ctx.seed;
+        const AdhocInfraResult res = RunAdhocInfraScenario(p);
+        ReplicationResult out;
+        out.metrics["offered_mbps"] = res.offered_mbps;
+        out.metrics["delivered_mbps"] = res.delivered_mbps;
+        out.metrics["mean_delay_ms"] = res.delay_ms;
+        return out;
+      });
+}
+
+void RegisterCoexistence(ScenarioRegistry& r) {
+  r.Register(
+      "coexistence",
+      "802.11b/g coexistence: a saturated g STA with an optional legacy b STA and protection",
+      {{"with_b_sta", "true", "admit a legacy 802.11b station"},
+       {"protection", "false", "enable CTS-to-self protection"},
+       {"sim_time_s", "6", "measured simulation seconds (after 1 s warmup)"}},
+      [](const ScenarioParams& params, const ReplicationContext& ctx) {
+        CoexistenceParams p;
+        p.with_b_sta = params.GetBool("with_b_sta", true);
+        p.protection = params.GetBool("protection", false);
+        p.sim_time = Time::Seconds(params.GetDouble("sim_time_s", 6.0));
+        p.seed = ctx.seed;
+        const CoexistenceResult res = RunCoexistenceScenario(p);
+        ReplicationResult out;
+        out.metrics["g_sta_mbps"] = res.g_mbps;
+        out.metrics["b_sta_mbps"] = res.b_mbps;
+        out.metrics["agg_mbps"] = res.g_mbps + res.b_mbps;
+        return out;
+      });
+}
+
+void RegisterFragmentation(ScenarioRegistry& r) {
+  r.Register(
+      "fragmentation",
+      "Fragmentation threshold sweep point under an optional hidden burst jammer",
+      {{"jammed", "true", "add the hidden Poisson burst jammer"},
+       {"frag_threshold", "1024", "fragmentation threshold in bytes (2346 = off)"},
+       {"sim_time_s", "8", "measured simulation seconds (after 1 s warmup)"}},
+      [](const ScenarioParams& params, const ReplicationContext& ctx) {
+        FragmentationParams p;
+        p.jammed = params.GetBool("jammed", true);
+        p.frag_threshold = static_cast<uint32_t>(params.GetUint("frag_threshold", 1024));
+        p.sim_time = Time::Seconds(params.GetDouble("sim_time_s", 8.0));
+        p.seed = ctx.seed;
+        const HiddenTerminalResult res = RunFragmentationScenario(p);
+        ReplicationResult out;
+        out.metrics["goodput_mbps"] = res.goodput_mbps;
+        out.metrics["retry_rate"] = res.retry_rate;
+        out.metrics["drop_rate"] = res.drop_rate;
+        out.metrics["drops"] = static_cast<double>(res.drops);
+        return out;
+      });
+}
+
+void RegisterRoaming(ScenarioRegistry& r) {
+  r.Register(
+      "roaming",
+      "ESS handoff: a station walking past 2-3 APs with a CBR uplink to the serving AP",
+      {{"n_aps", "2", "number of APs (2 or 3), channels 1/6/11"},
+       {"spacing", "160", "AP spacing in metres"},
+       {"speed", "10", "station speed in m/s"},
+       {"payload", "500", "uplink packet payload bytes"},
+       {"use_arf", "false", "use ARF rate control instead of the default"},
+       {"sim_time_s", "20", "total simulation seconds (traffic starts at 1 s)"}},
+      [](const ScenarioParams& params, const ReplicationContext& ctx) {
+        RoamingParams p;
+        p.n_aps = static_cast<size_t>(params.GetUint("n_aps", 2));
+        p.spacing = params.GetDouble("spacing", 160.0);
+        p.speed = params.GetDouble("speed", 10.0);
+        p.payload = static_cast<size_t>(params.GetUint("payload", 500));
+        p.use_arf = params.GetBool("use_arf", false);
+        p.sim_time = Time::Seconds(params.GetDouble("sim_time_s", 20.0));
+        p.seed = ctx.seed;
+        const RoamingResult res = RunRoamingScenario(p);
+        ReplicationResult out;
+        out.metrics["handoffs"] = static_cast<double>(res.handoffs);
+        out.metrics["loss_rate"] = res.loss_rate;
+        out.metrics["mean_delivered_kbps"] = res.mean_delivered_kbps;
+        return out;
+      });
+}
+
+}  // namespace
+
+void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
+  RegisterSaturation(registry);
+  RegisterHiddenTerminal(registry);
+  RegisterEdca(registry);
+  RegisterRateVsDistance(registry);
+  RegisterIsmInterference(registry);
+  RegisterAdhocVsInfra(registry);
+  RegisterCoexistence(registry);
+  RegisterFragmentation(registry);
+  RegisterRoaming(registry);
+}
+
+}  // namespace wlansim

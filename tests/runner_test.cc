@@ -1,0 +1,276 @@
+// Campaign engine tests: substream seeding, params parsing, registry lookup,
+// CI aggregation math, and jobs-independence of campaign results.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "core/random.h"
+#include "runner/campaign.h"
+#include "runner/result_sink.h"
+#include "runner/scenario.h"
+#include "runner/scenario_registry.h"
+
+namespace wlansim {
+namespace {
+
+// --- Substream seeding ---------------------------------------------------------
+
+TEST(Substream, DeterministicAndOrderIndependent) {
+  const uint64_t a = SubstreamSeed(42, "saturation", 3);
+  const uint64_t b = SubstreamSeed(42, "saturation", 3);
+  EXPECT_EQ(a, b);
+
+  Rng r1 = Rng::Substream(42, "saturation", 3);
+  Rng r2 = Rng::Substream(42, "saturation", 3);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(r1.NextU64(), r2.NextU64());
+  }
+}
+
+TEST(Substream, DistinctAcrossIndexStreamAndSeed) {
+  std::set<uint64_t> seeds;
+  for (uint64_t index = 0; index < 100; ++index) {
+    seeds.insert(SubstreamSeed(1, "s", index));
+  }
+  EXPECT_EQ(seeds.size(), 100u);
+  EXPECT_NE(SubstreamSeed(1, "alpha", 0), SubstreamSeed(1, "beta", 0));
+  EXPECT_NE(SubstreamSeed(1, "s", 0), SubstreamSeed(2, "s", 0));
+}
+
+// --- ScenarioParams ------------------------------------------------------------
+
+TEST(ScenarioParams, TypedGetters) {
+  ScenarioParams p;
+  p.Set("n", "12");
+  p.Set("x", "2.5");
+  p.Set("flag", "true");
+  p.Set("name", "hello");
+  EXPECT_EQ(p.GetInt("n", 0), 12);
+  EXPECT_DOUBLE_EQ(p.GetDouble("x", 0), 2.5);
+  EXPECT_TRUE(p.GetBool("flag", false));
+  EXPECT_EQ(p.GetString("name", ""), "hello");
+  // Defaults for absent keys.
+  EXPECT_EQ(p.GetInt("absent", 7), 7);
+  EXPECT_FALSE(p.GetBool("absent", false));
+}
+
+TEST(ScenarioParams, MalformedValuesThrow) {
+  ScenarioParams p;
+  p.Set("n", "12abc");
+  p.Set("b", "maybe");
+  p.Set("neg", "-3");
+  EXPECT_THROW(p.GetInt("n", 0), std::invalid_argument);
+  EXPECT_THROW(p.GetBool("b", false), std::invalid_argument);
+  // Counts reject negatives instead of wrapping to 2^64-3.
+  EXPECT_EQ(p.GetInt("neg", 0), -3);
+  EXPECT_THROW(p.GetUint("neg", 0), std::invalid_argument);
+}
+
+// --- Registry ------------------------------------------------------------------
+
+TEST(Registry, BuiltinScenariosRegistered) {
+  ScenarioRegistry& registry = ScenarioRegistry::Global();
+  for (const char* name : {"saturation", "hidden_terminal", "edca", "rate_vs_distance",
+                           "ism_interference", "adhoc_vs_infra", "coexistence", "fragmentation",
+                           "roaming"}) {
+    EXPECT_NE(registry.Find(name), nullptr) << name;
+  }
+  EXPECT_EQ(registry.Find("no_such_scenario"), nullptr);
+}
+
+TEST(Registry, DuplicateRegistrationThrows) {
+  ScenarioRegistry registry;
+  registry.Register("dup", "first", {},
+                    [](const ScenarioParams&, const ReplicationContext&) {
+                      return ReplicationResult{};
+                    });
+  EXPECT_THROW(registry.Register("dup", "second", {},
+                                 [](const ScenarioParams&, const ReplicationContext&) {
+                                   return ReplicationResult{};
+                                 }),
+               std::invalid_argument);
+}
+
+TEST(Registry, UnknownScenarioErrorListsAvailable) {
+  CampaignOptions options;
+  options.scenario = "no_such_scenario";
+  try {
+    RunCampaign(options);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no_such_scenario"), std::string::npos);
+    EXPECT_NE(msg.find("saturation"), std::string::npos);
+  }
+}
+
+TEST(Registry, UnknownParameterRejected) {
+  CampaignOptions options;
+  options.scenario = "saturation";
+  options.params.Set("n_stas_typo", "4");
+  EXPECT_THROW(RunCampaign(options), std::invalid_argument);
+}
+
+// --- CI aggregation math -------------------------------------------------------
+
+TEST(ResultSinkTest, StudentTCriticalValues) {
+  EXPECT_TRUE(std::isinf(StudentT95(0)));
+  EXPECT_NEAR(StudentT95(1), 12.706, 1e-9);
+  EXPECT_NEAR(StudentT95(4), 2.776, 1e-9);
+  EXPECT_NEAR(StudentT95(30), 2.042, 1e-9);
+  EXPECT_NEAR(StudentT95(1000), 1.960, 1e-9);
+}
+
+TEST(ResultSinkTest, AggregateMeanStddevCi) {
+  ResultSink sink(5);
+  for (size_t i = 0; i < 5; ++i) {
+    ReplicationResult r;
+    r.metrics["x"] = static_cast<double>(i + 1);  // 1..5
+    sink.Store(i, r);
+  }
+  const auto aggregates = sink.Aggregate();
+  ASSERT_EQ(aggregates.size(), 1u);
+  const MetricAggregate& a = aggregates[0];
+  EXPECT_EQ(a.metric, "x");
+  EXPECT_EQ(a.count, 5u);
+  EXPECT_DOUBLE_EQ(a.mean, 3.0);
+  EXPECT_NEAR(a.stddev, std::sqrt(2.5), 1e-12);
+  // t(df=4, 97.5%) * s / sqrt(n)
+  EXPECT_NEAR(a.ci95_half, 2.776 * std::sqrt(2.5) / std::sqrt(5.0), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min, 1.0);
+  EXPECT_DOUBLE_EQ(a.max, 5.0);
+}
+
+TEST(ResultSinkTest, SingleReplicationHasZeroCi) {
+  ResultSink sink(1);
+  ReplicationResult r;
+  r.metrics["x"] = 4.0;
+  sink.Store(0, r);
+  const auto aggregates = sink.Aggregate();
+  ASSERT_EQ(aggregates.size(), 1u);
+  EXPECT_DOUBLE_EQ(aggregates[0].stddev, 0.0);
+  EXPECT_DOUBLE_EQ(aggregates[0].ci95_half, 0.0);
+}
+
+TEST(ResultSinkTest, CsvAndJsonShape) {
+  ResultSink sink(2);
+  for (size_t i = 0; i < 2; ++i) {
+    ReplicationResult r;
+    r.metrics["goodput"] = 1.0 + static_cast<double>(i);
+    sink.Store(i, r);
+  }
+  const auto aggregates = sink.Aggregate();
+  const std::string csv = ResultSink::AggregatesToCsv(aggregates);
+  EXPECT_NE(csv.find("metric,count,mean,stddev,ci95_half,min,max"), std::string::npos);
+  EXPECT_NE(csv.find("goodput,2,1.5"), std::string::npos);
+  const std::string json = ResultSink::AggregatesToJson("sat", 2, aggregates);
+  EXPECT_NE(json.find("\"scenario\": \"sat\""), std::string::npos);
+  EXPECT_NE(json.find("\"replications\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"goodput\""), std::string::npos);
+  const std::string reps = ResultSink::ReplicationsToCsv(sink.replications());
+  EXPECT_NE(reps.find("replication,goodput"), std::string::npos);
+  EXPECT_NE(reps.find("0,1\n"), std::string::npos);
+  EXPECT_NE(reps.find("1,2\n"), std::string::npos);
+}
+
+// --- Campaign ------------------------------------------------------------------
+
+// A synthetic scenario that reports a function of its substream seed: cheap,
+// and any scheduling-order dependence would show up immediately.
+class SeedEchoScenario final : public Scenario {
+ public:
+  std::string_view name() const override { return "seed_echo"; }
+  std::string_view description() const override { return "test scenario"; }
+  ReplicationResult Run(const ScenarioParams&, const ReplicationContext& ctx) const override {
+    ReplicationResult r;
+    r.metrics["seed_mod"] = static_cast<double>(ctx.seed % 1000003);
+    r.metrics["replication"] = static_cast<double>(ctx.replication);
+    return r;
+  }
+};
+
+TEST(Campaign, ResultsIndependentOfJobs) {
+  SeedEchoScenario scenario;
+  CampaignOptions options;
+  options.scenario = "seed_echo";
+  options.base_seed = 99;
+  options.replications = 64;
+
+  options.jobs = 1;
+  const CampaignResult serial = Campaign(scenario).Run(options);
+  options.jobs = 8;
+  const CampaignResult parallel = Campaign(scenario).Run(options);
+
+  ASSERT_EQ(serial.replications.size(), parallel.replications.size());
+  for (size_t i = 0; i < serial.replications.size(); ++i) {
+    EXPECT_EQ(serial.replications[i].metrics, parallel.replications[i].metrics) << i;
+    // Replication i really ran as replication i, on any thread.
+    EXPECT_DOUBLE_EQ(serial.replications[i].metrics.at("replication"),
+                     static_cast<double>(i));
+  }
+  ASSERT_EQ(serial.aggregates.size(), parallel.aggregates.size());
+  for (size_t i = 0; i < serial.aggregates.size(); ++i) {
+    EXPECT_EQ(serial.aggregates[i].metric, parallel.aggregates[i].metric);
+    EXPECT_DOUBLE_EQ(serial.aggregates[i].mean, parallel.aggregates[i].mean);
+    EXPECT_DOUBLE_EQ(serial.aggregates[i].stddev, parallel.aggregates[i].stddev);
+  }
+}
+
+TEST(Campaign, RealScenarioDeterministicAcrossJobs) {
+  CampaignOptions options;
+  options.scenario = "saturation";
+  options.base_seed = 7;
+  options.replications = 4;
+  options.params.Set("sim_time_s", "0.5");
+
+  options.jobs = 1;
+  const CampaignResult serial = RunCampaign(options);
+  options.jobs = 4;
+  const CampaignResult parallel = RunCampaign(options);
+
+  ASSERT_EQ(serial.replications.size(), 4u);
+  for (size_t i = 0; i < serial.replications.size(); ++i) {
+    EXPECT_EQ(serial.replications[i].metrics, parallel.replications[i].metrics) << i;
+  }
+  // Byte-identical serialized aggregates, the CLI-level guarantee.
+  EXPECT_EQ(ResultSink::AggregatesToCsv(serial.aggregates),
+            ResultSink::AggregatesToCsv(parallel.aggregates));
+}
+
+TEST(Campaign, DifferentSeedsAcrossReplications) {
+  SeedEchoScenario scenario;
+  CampaignOptions options;
+  options.scenario = "seed_echo";
+  options.base_seed = 5;
+  options.replications = 32;
+  options.jobs = 4;
+  const CampaignResult result = Campaign(scenario).Run(options);
+  std::set<double> seen;
+  for (const ReplicationResult& r : result.replications) {
+    seen.insert(r.metrics.at("seed_mod"));
+  }
+  EXPECT_EQ(seen.size(), result.replications.size());
+}
+
+class ThrowingScenario final : public Scenario {
+ public:
+  std::string_view name() const override { return "throwing"; }
+  std::string_view description() const override { return "always throws"; }
+  ReplicationResult Run(const ScenarioParams&, const ReplicationContext&) const override {
+    throw std::runtime_error("scenario blew up");
+  }
+};
+
+TEST(Campaign, ScenarioExceptionsPropagate) {
+  ThrowingScenario scenario;
+  CampaignOptions options;
+  options.replications = 8;
+  options.jobs = 4;
+  EXPECT_THROW(Campaign(scenario).Run(options), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wlansim
