@@ -1,75 +1,75 @@
 // F11 — ISM-band interference ("you may suffer interference if others in the
-// same building also use wireless technology", §6).
+// same building also use wireless technology", §6), as a thin client of the
+// sweep engine.
 //
-// A single 802.11b link shares the kitchen with a microwave oven at varying
-// distance from the receiver. The oven blasts undecodable energy at ~40 %
-// duty (8 ms on / 12 ms off, mains-locked). Expected shape: with the oven
-// close, goodput collapses toward the oven's off-fraction (CCA defers and
-// overlapped frames die); as the oven moves away it first stops corrupting
-// frames (below SINR relevance) and then stops triggering CCA entirely,
-// restoring full goodput. 802.11a (5 GHz) is immune by construction —
-// exactly the survey's "cleaner signal" argument for OFDM at 5 GHz.
+// A single link shares the kitchen with a microwave oven at varying distance
+// from the receiver; the oven blasts undecodable energy at ~40 % duty
+// (8 ms on / 12 ms off, mains-locked). One sweep over the `ism_interference`
+// scenario's {standard} × {oven_distance} grid reproduces the figure
+// (oven_distance=0 is the clean baseline). Expected shape: with the oven
+// close, 802.11b goodput collapses toward the oven's off-fraction; as the
+// oven moves away goodput recovers, while 802.11a (5 GHz) is immune by
+// construction. The same grid regenerates from the CLI alone:
+//   wlansim_run --scenario=ism_interference --sweep standard=11b,11a \
+//       --sweep oven_distance=0,3,10,30,100 --reps=8 --csv=f11.csv
 
-#include <benchmark/benchmark.h>
+#include <map>
+#include <string>
 
 #include "bench/bench_util.h"
-#include "net/ism_interferer.h"
 
 namespace wlansim {
 namespace {
 
-Table g_table({"standard", "oven_distance_m", "goodput_mbps", "retry_rate_%", "vs_clean_%"});
-
-double g_clean[2] = {0, 0};
-
-RunResult RunOven(PhyStandard standard, double oven_distance, uint64_t seed) {
-  IsmParams p;
-  p.standard = standard;
-  p.oven_distance = oven_distance;
-  p.seed = seed;
-  return RunIsmInterferenceScenario(p);
-}
-
-const double kOvenDistances[] = {0 /* no oven */, 3, 10, 30, 100};
-
-void Run(benchmark::State& state, PhyStandard standard, int clean_slot) {
-  const double d = kOvenDistances[state.range(0)];
-  RunResult r{};
-  for (auto _ : state) {
-    r = RunOven(standard, d, 77);
+int Run(int argc, char** argv) {
+  const SweepBenchArgs args = ParseSweepBenchArgs(argc, argv, "bench_f11_ism_interference");
+  if (!args.ok) {
+    return 1;
   }
-  if (d == 0) {
-    g_clean[clean_slot] = r.goodput_mbps;
+
+  SweepOptions options;
+  options.scenario = "ism_interference";
+  options.base_seed = args.seed;
+  options.replications = args.reps;
+  options.jobs = args.jobs;
+  options.grid.AddAxis(ParseSweepAxis("standard=11b,11a"));
+  options.grid.AddAxis(ParseSweepAxis("oven_distance=0,3,10,30,100"));
+  const SweepResult result = RunSweepCampaign(options);
+  if (!args.csv.empty() && !WriteSweepCsv(args.csv, result)) {
+    return 1;
   }
-  const double retry_rate =
-      r.tx_attempts ? 100.0 * static_cast<double>(r.retries) / static_cast<double>(r.tx_attempts)
-                    : 0.0;
-  state.counters["goodput_mbps"] = r.goodput_mbps;
-  g_table.AddRow({ToString(standard), d == 0 ? "no oven" : Table::Num(d, 0),
-                  Table::Num(r.goodput_mbps, 2), Table::Num(retry_rate, 1),
-                  Table::Num(g_clean[clean_slot] > 0 ? 100.0 * r.goodput_mbps / g_clean[clean_slot]
-                                                     : 100.0,
-                             1)});
-}
 
-void BM_Oven11b(benchmark::State& s) {
-  Run(s, PhyStandard::k80211b, 0);
-}
-void BM_Oven11a(benchmark::State& s) {
-  Run(s, PhyStandard::k80211a, 1);
-}
+  // Clean baseline per standard: the oven_distance=0 grid point.
+  std::map<std::string, double> clean;
+  for (const SweepPointResult& point : result.points) {
+    if (PointValue(point, "oven_distance") == "0") {
+      clean[PointValue(point, "standard")] = MetricMean(point, "goodput_mbps");
+    }
+  }
 
-BENCHMARK(BM_Oven11b)->DenseRange(0, 4)->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Oven11a)->DenseRange(0, 4)->Iterations(1)->Unit(benchmark::kMillisecond);
+  Table table({"standard", "oven_distance_m", "goodput_mbps", "retry_rate_%", "vs_clean_%"});
+  for (const SweepPointResult& point : result.points) {
+    const std::string standard = PointValue(point, "standard");
+    const std::string distance = PointValue(point, "oven_distance");
+    const double goodput = MetricMean(point, "goodput_mbps");
+    const double attempts = MetricMean(point, "tx_attempts");
+    const double retry_rate =
+        attempts > 0 ? 100.0 * MetricMean(point, "retries") / attempts : 0.0;
+    table.AddRow({standard == "11b" ? "802.11b" : "802.11a",
+                  distance == "0" ? "no oven" : distance, Table::Num(goodput, 2),
+                  Table::Num(retry_rate, 1),
+                  Table::Num(clean[standard] > 0 ? 100.0 * goodput / clean[standard] : 100.0, 1)});
+  }
+  std::printf("=== F11: microwave-oven interference vs distance (saturated 12 m link, "
+              "%llu rep(s)/point) ===\n",
+              static_cast<unsigned long long>(args.reps));
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}
 
 }  // namespace
 }  // namespace wlansim
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  wlansim::PrintTable(
-      "F11: microwave-oven interference vs distance (saturated 12 m link)",
-      wlansim::g_table, argc, argv);
-  return 0;
+  return wlansim::Run(argc, argv);
 }

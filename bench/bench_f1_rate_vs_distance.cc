@@ -1,86 +1,92 @@
-// F1 — Rate-vs-distance staircase.
+// F1 — Rate-vs-distance staircase, as a thin client of the sweep engine.
 //
 // The survey states every 802.11 PHY "automatically backs down from the peak
-// rate when the radio signal is weak". For a distance sweep this harness
-// reports (a) the best fixed rate (oracle envelope) and (b) what ARF actually
-// selects, for both 802.11b and 802.11a. Expected shape: a monotone staircase
-// down through the standard's rate set, with 802.11b usable farther out than
-// 802.11a (lower rates + 2.4 GHz advantage under equal loss exponent).
+// rate when the radio signal is weak". For each standard this harness runs
+// two sweep campaigns over the `rate_vs_distance` scenario:
+//   (a) distance × rate_index at fixed rates — the oracle envelope is the
+//       best fixed rate per distance, read off the long-format aggregates;
+//   (b) distance under ARF — what the driver algorithm actually achieves.
+// Expected shape: a monotone staircase down through the standard's rate set,
+// with 802.11b usable farther out than 802.11a. The same grids regenerate
+// from the CLI alone, e.g.:
+//   wlansim_run --scenario=rate_vs_distance --param standard=11b \
+//       --sweep distance=10,30,60,90,120,160,200,250 --sweep rate_index=0:3:1
 
-#include <benchmark/benchmark.h>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 
 namespace wlansim {
 namespace {
 
-Table g_table({"standard", "distance_m", "best_fixed", "best_fixed_mbps", "arf_mbps"});
+const char* kDistances = "distance=10,30,60,90,120,160,200,250";
 
-struct Point {
-  PhyStandard standard;
-  double distance;
-};
-
-std::vector<Point> MakePoints() {
-  std::vector<Point> points;
-  for (PhyStandard s : {PhyStandard::k80211b, PhyStandard::k80211a}) {
-    for (double d : {10, 30, 60, 90, 120, 160, 200, 250}) {
-      points.push_back({s, static_cast<double>(d)});
-    }
+SweepResult RunFigureSweep(const SweepBenchArgs& args, const std::string& standard,
+                           bool fixed_rates) {
+  SweepOptions options;
+  options.scenario = "rate_vs_distance";
+  options.base_params.Set("standard", standard);
+  options.base_seed = args.seed;
+  options.replications = args.reps;
+  options.jobs = args.jobs;
+  options.grid.AddAxis(ParseSweepAxis(kDistances));
+  if (fixed_rates) {
+    const size_t n_modes = ModesFor(standard == "11a" ? PhyStandard::k80211a
+                                                      : PhyStandard::k80211b)
+                               .size();
+    options.grid.AddAxis(ParseSweepAxis("rate_index=0:" + std::to_string(n_modes - 1) + ":1"));
+  } else {
+    options.base_params.Set("controller", "arf");
   }
-  return points;
+  return RunSweepCampaign(options);
 }
 
-const std::vector<Point>& Points() {
-  static const std::vector<Point> points = MakePoints();
-  return points;
-}
+int Run(int argc, char** argv) {
+  const SweepBenchArgs args = ParseSweepBenchArgs(argc, argv, "bench_f1_rate_vs_distance");
+  if (!args.ok) {
+    return 1;
+  }
 
-RunResult RunLink(PhyStandard standard, double distance, size_t rate_index,
-                  const std::string& controller) {
-  LinkParams p;
-  p.standard = standard;
-  p.distance = distance;
-  p.rate_index = rate_index;
-  p.controller = controller;
-  p.seed = 7;
-  return RunLinkScenario(p);
-}
+  Table table({"standard", "distance_m", "best_fixed", "best_fixed_mbps", "arf_mbps"});
+  for (const std::string standard : {"11b", "11a"}) {
+    const SweepResult fixed = RunFigureSweep(args, standard, /*fixed_rates=*/true);
+    const SweepResult arf = RunFigureSweep(args, standard, /*fixed_rates=*/false);
+    if (!args.csv.empty() &&
+        (!WriteSweepCsv(args.csv + "." + standard + ".fixed.csv", fixed) ||
+         !WriteSweepCsv(args.csv + "." + standard + ".arf.csv", arf))) {
+      return 1;
+    }
 
-void BM_RateVsDistance(benchmark::State& state) {
-  const Point& pt = Points()[static_cast<size_t>(state.range(0))];
-  double best_mbps = 0;
-  std::string best_name = "none";
-  double arf_mbps = 0;
-  for (auto _ : state) {
-    const auto modes = ModesFor(pt.standard);
-    for (size_t i = 0; i < modes.size(); ++i) {
-      const double g = RunLink(pt.standard, pt.distance, i, "").goodput_mbps;
-      if (g > best_mbps) {
-        best_mbps = g;
-        best_name = modes[i].name;
+    // Oracle envelope: per distance, the fixed rate with the best mean goodput.
+    const auto modes = ModesFor(standard == "11a" ? PhyStandard::k80211a : PhyStandard::k80211b);
+    std::map<std::string, std::pair<double, std::string>> best;  // distance -> (mbps, mode)
+    for (const SweepPointResult& point : fixed.points) {
+      const double mbps = MetricMean(point, "goodput_mbps");
+      const size_t rate_index = std::stoul(PointValue(point, "rate_index"));
+      auto& slot = best[PointValue(point, "distance")];
+      if (slot.second.empty() || mbps > slot.first) {
+        slot = {mbps, mbps > 0 ? modes[rate_index].name : "none"};
       }
     }
-    arf_mbps = RunLink(pt.standard, pt.distance, 0, "arf").goodput_mbps;
+    for (const SweepPointResult& point : arf.points) {
+      const std::string distance = PointValue(point, "distance");
+      table.AddRow({standard, distance, best[distance].second,
+                    Table::Num(best[distance].first, 2),
+                    Table::Num(MetricMean(point, "goodput_mbps"), 2)});
+    }
   }
-  state.counters["best_fixed_mbps"] = best_mbps;
-  state.counters["arf_mbps"] = arf_mbps;
-  g_table.AddRow({ToString(pt.standard), Table::Num(pt.distance, 0), best_name,
-                  Table::Num(best_mbps, 2), Table::Num(arf_mbps, 2)});
+  std::printf("=== F1: rate-vs-distance staircase (log-distance n=3, 1200 B saturated, "
+              "%llu rep(s)/point) ===\n",
+              static_cast<unsigned long long>(args.reps));
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
 }
-
-BENCHMARK(BM_RateVsDistance)
-    ->DenseRange(0, 15)
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace wlansim
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  wlansim::PrintTable("F1: rate-vs-distance staircase (log-distance n=3, 1200 B saturated)",
-                      wlansim::g_table, argc, argv);
-  return 0;
+  return wlansim::Run(argc, argv);
 }

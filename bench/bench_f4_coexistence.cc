@@ -1,57 +1,59 @@
-// F4 — 802.11b/g coexistence penalty.
+// F4 — 802.11b/g coexistence penalty, as a thin client of the sweep engine.
 //
 // The survey notes an 802.11g AP "will support 802.11b and 802.11g clients"
 // because both share 2.4 GHz. The cost: a pure-g BSS runs with short slots
 // and no protection; admitting one b station forces long slots and (when
-// enabled) CTS-to-self protection before every OFDM frame. Expected shape:
-// pure-g ≫ mixed; protection trades goodput for reliability alongside
-// legacy stations.
+// enabled) CTS-to-self protection before every OFDM frame. One sweep over
+// the `coexistence` scenario's {with_b_sta} × {protection} grid reproduces
+// the figure; the same grid regenerates from the CLI alone:
+//   wlansim_run --scenario=coexistence --sweep with_b_sta=false,true \
+//       --sweep protection=false,true --reps=8 --csv=f4.csv
 
-#include <benchmark/benchmark.h>
+#include <string>
 
 #include "bench/bench_util.h"
 
 namespace wlansim {
 namespace {
 
-Table g_table({"scenario", "g_sta_goodput_mbps", "b_sta_goodput_mbps", "agg_mbps"});
-
-void Run(benchmark::State& state, const char* label, bool with_b, bool protection) {
-  CoexistenceParams p;
-  p.with_b_sta = with_b;
-  p.protection = protection;
-  p.seed = 23;
-  CoexistenceResult r{};
-  for (auto _ : state) {
-    r = RunCoexistenceScenario(p);
+int Run(int argc, char** argv) {
+  const SweepBenchArgs args = ParseSweepBenchArgs(argc, argv, "bench_f4_coexistence");
+  if (!args.ok) {
+    return 1;
   }
-  state.counters["g_mbps"] = r.g_mbps;
-  state.counters["b_mbps"] = r.b_mbps;
-  g_table.AddRow({label, Table::Num(r.g_mbps, 2), Table::Num(r.b_mbps, 2),
-                  Table::Num(r.g_mbps + r.b_mbps, 2)});
-}
 
-void BM_PureG(benchmark::State& s) {
-  Run(s, "pure-g (short slot)", false, false);
-}
-void BM_MixedNoProtection(benchmark::State& s) {
-  Run(s, "g + b sta, no protection", true, false);
-}
-void BM_MixedProtection(benchmark::State& s) {
-  Run(s, "g + b sta, cts-to-self", true, true);
-}
+  SweepOptions options;
+  options.scenario = "coexistence";
+  options.base_seed = args.seed;
+  options.replications = args.reps;
+  options.jobs = args.jobs;
+  options.grid.AddAxis(ParseSweepAxis("with_b_sta=false,true"));
+  options.grid.AddAxis(ParseSweepAxis("protection=false,true"));
+  const SweepResult result = RunSweepCampaign(options);
+  if (!args.csv.empty() && !WriteSweepCsv(args.csv, result)) {
+    return 1;
+  }
 
-BENCHMARK(BM_PureG)->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_MixedNoProtection)->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_MixedProtection)->Iterations(1)->Unit(benchmark::kMillisecond);
+  Table table({"scenario", "g_sta_goodput_mbps", "b_sta_goodput_mbps", "agg_mbps"});
+  for (const SweepPointResult& point : result.points) {
+    const bool with_b = PointValue(point, "with_b_sta") == "true";
+    const bool protection = PointValue(point, "protection") == "true";
+    const std::string label = !with_b ? (protection ? "pure-g, cts-to-self" : "pure-g (short slot)")
+                                      : (protection ? "g + b sta, cts-to-self"
+                                                    : "g + b sta, no protection");
+    table.AddRow({label, Table::Num(MetricMean(point, "g_sta_mbps"), 2),
+                  Table::Num(MetricMean(point, "b_sta_mbps"), 2),
+                  Table::Num(MetricMean(point, "agg_mbps"), 2)});
+  }
+  std::printf("=== F4: 802.11b/g coexistence (saturated uplinks, 1500 B, %llu rep(s)/point) ===\n",
+              static_cast<unsigned long long>(args.reps));
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}
 
 }  // namespace
 }  // namespace wlansim
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  wlansim::PrintTable("F4: 802.11b/g coexistence (saturated uplinks, 1500 B)", wlansim::g_table,
-                      argc, argv);
-  return 0;
+  return wlansim::Run(argc, argv);
 }

@@ -1,11 +1,16 @@
 // wlansim_run — the campaign CLI. Runs N independent replications of any
 // registered scenario across a worker pool and prints (or writes) the
-// aggregated results.
+// aggregated results. With one or more --sweep axes it runs a whole
+// parameter grid as per-point replication batches and emits one long-format
+// table; --shard=i/n partitions the grid across processes or hosts without
+// changing any result.
 //
 //   wlansim_run --list
 //   wlansim_run --describe=saturation
 //   wlansim_run --scenario=saturation --reps=8 --jobs=4 --param n_stas=10
 //   wlansim_run --scenario=edca --reps=16 --jobs=0 --csv=agg.csv --json=agg.json
+//   wlansim_run --scenario=rate_vs_distance --sweep distance=10:100:10 --reps=8 --csv=f1.csv
+//   wlansim_run --scenario=saturation --sweep n_stas=1,5,10 --shard=0/2 --csv=half0.csv
 
 #include <cstdint>
 #include <cstdio>
@@ -13,9 +18,11 @@
 #include <exception>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "runner/campaign.h"
 #include "runner/scenario_registry.h"
+#include "runner/sweep.h"
 #include "stats/table.h"
 
 namespace wlansim {
@@ -31,9 +38,17 @@ void PrintUsage() {
       "  --jobs=N            worker threads; 0 = all hardware threads (default 1)\n"
       "  --seed=N            campaign base seed (default 1)\n"
       "  --param KEY=VALUE   scenario parameter (repeatable; also --param=KEY=VALUE)\n"
-      "  --csv=FILE          write the aggregate table as CSV\n"
-      "  --json=FILE         write the aggregate table as JSON\n"
-      "  --reps-csv=FILE     write one CSV row per replication\n"
+      "  --sweep KEY=SPEC    sweep a parameter over a value grid (repeatable);\n"
+      "                      SPEC is v1,v2,... or an inclusive range lo:hi:step.\n"
+      "                      Multiple --sweep axes form a cartesian grid, run as\n"
+      "                      one replication batch per point.\n"
+      "  --shard=I/N         run only this process's slice of the sweep grid\n"
+      "                      (contiguous, disjoint, exhaustive across shards);\n"
+      "                      results are identical for any shard split\n"
+      "  --csv=FILE          write the aggregate table as CSV (long format when\n"
+      "                      sweeping: params...,metric,count,mean,stddev,...)\n"
+      "  --json=FILE         write the aggregate table as JSON (no sweep mode)\n"
+      "  --reps-csv=FILE     write one CSV row per replication (no sweep mode)\n"
       "  --list              list registered scenarios\n"
       "  --describe=NAME     show a scenario's parameters and defaults\n"
       "  --quiet             suppress the stdout table\n");
@@ -74,8 +89,92 @@ bool WriteFileOrComplain(const std::string& path, const std::string& content) {
   return true;
 }
 
+// Parses "I/N" into (index, count); false on anything else.
+bool ParseShard(const std::string& spec, unsigned* index, unsigned* count) {
+  const size_t slash = spec.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= spec.size()) {
+    return false;
+  }
+  const std::string i = spec.substr(0, slash);
+  const std::string n = spec.substr(slash + 1);
+  if (i.find_first_not_of("0123456789") != std::string::npos ||
+      n.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  try {
+    const unsigned long iv = std::stoul(i);
+    const unsigned long nv = std::stoul(n);
+    if (nv == 0 || iv >= nv) {
+      return false;
+    }
+    *index = static_cast<unsigned>(iv);
+    *count = static_cast<unsigned>(nv);
+    return true;
+  } catch (const std::out_of_range&) {
+    return false;
+  }
+}
+
+int RunSweep(const CampaignOptions& base, const std::vector<std::string>& sweep_specs,
+             unsigned shard_index, unsigned shard_count, const std::string& csv_path,
+             bool quiet) {
+  SweepOptions options;
+  options.scenario = base.scenario;
+  options.base_params = base.params;
+  options.base_seed = base.base_seed;
+  options.replications = base.replications;
+  options.jobs = base.jobs;
+  options.shard_index = shard_index;
+  options.shard_count = shard_count;
+
+  SweepResult result;
+  try {
+    for (const std::string& spec : sweep_specs) {
+      options.grid.AddAxis(ParseSweepAxis(spec));
+    }
+    result = RunSweepCampaign(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  if (!quiet) {
+    std::printf("=== %s sweep: %zu/%zu grid point(s) [shard %u/%u], %llu replication(s)/point, "
+                "base seed %llu ===\n",
+                result.scenario.c_str(), result.points.size(), options.grid.NumPoints(),
+                shard_index, shard_count, static_cast<unsigned long long>(result.replications),
+                static_cast<unsigned long long>(result.base_seed));
+    std::vector<std::string> header = result.param_keys;
+    for (const char* col : {"metric", "count", "mean", "stddev", "ci95_half", "min", "max"}) {
+      header.emplace_back(col);
+    }
+    Table table(header);
+    for (const SweepPointResult& point : result.points) {
+      for (const MetricAggregate& a : point.aggregates) {
+        std::vector<std::string> row;
+        for (const auto& [key, value] : point.point) {
+          row.push_back(value);
+        }
+        row.push_back(a.metric);
+        row.push_back(std::to_string(a.count));
+        for (double v : {a.mean, a.stddev, a.ci95_half, a.min, a.max}) {
+          row.push_back(Table::Num(v, 4));
+        }
+        table.AddRow(row);
+      }
+    }
+    std::fputs(table.ToString().c_str(), stdout);
+  }
+  if (!csv_path.empty() && !WriteFileOrComplain(csv_path, SweepResultToCsv(result))) {
+    return 1;
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   CampaignOptions options;
+  std::vector<std::string> sweep_specs;
+  std::string shard_spec;
   std::string csv_path;
   std::string json_path;
   std::string reps_csv_path;
@@ -129,6 +228,11 @@ int Main(int argc, char** argv) {
         return 1;
       }
       options.params.Set(std::string(v, eq), std::string(eq + 1));
+    } else if ((v = value_of(arg, "--sweep")) != nullptr ||
+               (std::strcmp(arg, "--sweep") == 0 && i + 1 < argc && (v = argv[++i]) != nullptr)) {
+      sweep_specs.emplace_back(v);
+    } else if ((v = value_of(arg, "--shard")) != nullptr) {
+      shard_spec = v;
     } else if ((v = value_of(arg, "--csv")) != nullptr) {
       csv_path = v;
     } else if ((v = value_of(arg, "--json")) != nullptr) {
@@ -153,6 +257,24 @@ int Main(int argc, char** argv) {
   }
   if (options.replications == 0) {
     std::fprintf(stderr, "--reps must be at least 1\n");
+    return 1;
+  }
+
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
+  if (!shard_spec.empty() && !ParseShard(shard_spec, &shard_index, &shard_count)) {
+    std::fprintf(stderr, "--shard expects I/N with 0 <= I < N, got '%s'\n", shard_spec.c_str());
+    return 1;
+  }
+  if (!sweep_specs.empty()) {
+    if (!json_path.empty() || !reps_csv_path.empty()) {
+      std::fprintf(stderr, "--json/--reps-csv are not supported in sweep mode; use --csv\n");
+      return 1;
+    }
+    return RunSweep(options, sweep_specs, shard_index, shard_count, csv_path, quiet);
+  }
+  if (!shard_spec.empty()) {
+    std::fprintf(stderr, "--shard requires at least one --sweep axis\n");
     return 1;
   }
 

@@ -22,6 +22,21 @@ std::string Num(double v) {
 
 }  // namespace
 
+std::string CsvField(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) {
+    return field;
+  }
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      quoted += '"';
+    }
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
 double StudentT95(uint64_t df) {
   // Two-sided 95 % critical values; exact to three decimals for df <= 30,
   // then the standard interpolation anchors. Campaigns with one replication
@@ -92,7 +107,8 @@ std::string ResultSink::ReplicationsToCsv(const std::vector<ReplicationResult>& 
   }
   std::string csv = "replication";
   for (const std::string& c : columns) {
-    csv += "," + c;
+    csv += ",";
+    csv += CsvField(c);
   }
   csv += "\n";
   for (size_t i = 0; i < replications.size(); ++i) {
@@ -112,8 +128,30 @@ std::string ResultSink::ReplicationsToCsv(const std::vector<ReplicationResult>& 
 std::string ResultSink::AggregatesToCsv(const std::vector<MetricAggregate>& aggregates) {
   std::string csv = "metric,count,mean,stddev,ci95_half,min,max\n";
   for (const MetricAggregate& a : aggregates) {
-    csv += a.metric + "," + std::to_string(a.count) + "," + Num(a.mean) + "," + Num(a.stddev) +
-           "," + Num(a.ci95_half) + "," + Num(a.min) + "," + Num(a.max) + "\n";
+    csv += CsvField(a.metric) + "," + std::to_string(a.count) + "," + Num(a.mean) + "," +
+           Num(a.stddev) + "," + Num(a.ci95_half) + "," + Num(a.min) + "," + Num(a.max) + "\n";
+  }
+  return csv;
+}
+
+std::string ResultSink::SweepLongCsv(const std::vector<std::string>& param_keys,
+                                     const std::vector<SweepRow>& rows) {
+  std::string csv;
+  for (const std::string& key : param_keys) {
+    csv += CsvField(key) + ",";
+  }
+  csv += "metric,count,mean,stddev,ci95_half,min,max\n";
+  for (const SweepRow& row : rows) {
+    assert(row.param_values.size() == param_keys.size());
+    std::string prefix;
+    for (const std::string& value : row.param_values) {
+      prefix += CsvField(value) + ",";
+    }
+    for (const MetricAggregate& a : row.aggregates) {
+      csv += prefix + CsvField(a.metric) + "," + std::to_string(a.count) + "," + Num(a.mean) +
+             "," + Num(a.stddev) + "," + Num(a.ci95_half) + "," + Num(a.min) + "," + Num(a.max) +
+             "\n";
+    }
   }
   return csv;
 }

@@ -28,6 +28,20 @@ struct MetricAggregate {
 // (asymptotically 1.960). Exposed for the aggregation test.
 double StudentT95(uint64_t df);
 
+// RFC 4180 field quoting: fields containing a comma, double quote, CR or LF
+// are wrapped in double quotes with embedded quotes doubled; everything else
+// passes through unchanged. Applied to every name/value the CSV writers
+// emit, so a scenario, metric or parameter name can contain any character
+// without corrupting rows.
+std::string CsvField(const std::string& field);
+
+// One row of a long-format sweep CSV: the swept parameter values (parallel
+// to the key list handed to SweepLongCsv) plus that point's aggregates.
+struct SweepRow {
+  std::vector<std::string> param_values;
+  std::vector<MetricAggregate> aggregates;
+};
+
 class ResultSink {
  public:
   // Sized upfront so workers can store results by replication index; the
@@ -53,6 +67,13 @@ class ResultSink {
   // {"scenario": ..., "replications": N, "metrics": {name: {...}, ...}}
   static std::string AggregatesToJson(const std::string& scenario_name, uint64_t replications,
                                       const std::vector<MetricAggregate>& aggregates);
+
+  // Long-format sweep CSV: header `<param_keys...>,metric,count,mean,stddev,
+  // ci95_half,min,max`, then one row per (grid point, metric). Rows from a
+  // shard slice concatenate under a single header into exactly the unsharded
+  // output.
+  static std::string SweepLongCsv(const std::vector<std::string>& param_keys,
+                                  const std::vector<SweepRow>& rows);
 
  private:
   mutable std::mutex mu_;

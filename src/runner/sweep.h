@@ -1,0 +1,117 @@
+// Parameter-sweep campaigns: expand a cartesian grid of scenario parameters,
+// run a replication batch per grid point through the Campaign thread pool,
+// and aggregate everything into one long-format table. Replication seeds are
+// derived from the *parameter assignment* of each point (not its grid index
+// or shard), so results are byte-identical for any --jobs value, any
+// --shard=i/n split, and even any axis ordering.
+
+#ifndef WLANSIM_RUNNER_SWEEP_H_
+#define WLANSIM_RUNNER_SWEEP_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runner/result_sink.h"
+#include "runner/scenario.h"
+
+namespace wlansim {
+
+// One swept parameter: a key and its ordered value list.
+struct SweepAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+// Parses one "--sweep" spec into an axis. Two forms:
+//   KEY=v1,v2,v3       explicit value list
+//   KEY=lo:hi:step     inclusive numeric range (step > 0, lo <= hi)
+// Values are kept as strings so they round-trip unchanged through
+// ScenarioParams and the output CSV; range endpoints are formatted with the
+// same fixed "%.9g" convention the CSV writers use. Throws
+// std::invalid_argument on a malformed spec (missing '=', empty key, empty
+// value list, empty list element, non-numeric or non-advancing range).
+SweepAxis ParseSweepAxis(const std::string& spec);
+
+// An ordered list of axes defining a cartesian parameter grid. Point i
+// enumerates the grid with the FIRST axis varying slowest and the last axis
+// fastest (row-major), so the combined CSV reads like nested loops.
+class SweepGrid {
+ public:
+  // Throws std::invalid_argument when the axis key duplicates an existing
+  // axis or the axis has no values.
+  void AddAxis(SweepAxis axis);
+
+  bool empty() const { return axes_.empty(); }
+  size_t NumPoints() const;  // product of axis sizes; 1 for an empty grid
+
+  // Axis keys in axis order: the parameter columns of the long-format CSV.
+  std::vector<std::string> Keys() const;
+
+  // Grid point `index` as ordered (key, value) pairs, one per axis.
+  std::vector<std::pair<std::string, std::string>> Point(size_t index) const;
+
+  const std::vector<SweepAxis>& axes() const { return axes_; }
+
+ private:
+  std::vector<SweepAxis> axes_;
+};
+
+// Contiguous [begin, end) slice of `total` grid points owned by shard
+// `index` of `count`. Slices are disjoint, cover every point exactly once,
+// and are stable: concatenating the slices for shards 0..count-1 in order
+// reproduces 0..total exactly, which is what lets shard CSVs be merged
+// byte-for-byte into the unsharded output. Throws std::invalid_argument when
+// count == 0 or index >= count.
+std::pair<size_t, size_t> ShardRange(size_t total, unsigned index, unsigned count);
+
+struct SweepOptions {
+  std::string scenario;
+  // Applied to every grid point. A key may not be both a base param and a
+  // sweep axis: RunSweepCampaign rejects the ambiguity.
+  ScenarioParams base_params;
+  SweepGrid grid;
+  uint64_t base_seed = 1;
+  uint64_t replications = 1;
+  // Worker threads per grid point (same meaning as CampaignOptions::jobs).
+  unsigned jobs = 1;
+  // This process runs the grid points in ShardRange(n, shard_index, shard_count).
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
+};
+
+// Aggregates for one grid point.
+struct SweepPointResult {
+  size_t point_index = 0;  // global grid index, not shard-local
+  std::vector<std::pair<std::string, std::string>> point;  // (key, value), axis order
+  std::vector<MetricAggregate> aggregates;                 // ordered by metric name
+};
+
+struct SweepResult {
+  std::string scenario;
+  uint64_t base_seed = 1;
+  uint64_t replications = 1;
+  std::vector<std::string> param_keys;   // axis keys, axis order
+  std::vector<SweepPointResult> points;  // this shard's slice, grid order
+};
+
+// The base seed for one grid point's replication batch: a substream of
+// `base_seed` keyed by the point's sorted key=value assignment. Exposed so
+// tests can assert shard/order independence directly.
+uint64_t SweepPointSeed(uint64_t base_seed,
+                        const std::vector<std::pair<std::string, std::string>>& point);
+
+// Expands the grid, takes this shard's slice, and runs one Campaign
+// (options.replications replications on options.jobs threads) per grid
+// point. Throws std::invalid_argument for an unknown scenario, an unknown or
+// ambiguous parameter, or an invalid shard spec.
+SweepResult RunSweepCampaign(const SweepOptions& options);
+
+// The long-format combined CSV for a sweep (header + one row per point and
+// metric), emitted via ResultSink::SweepLongCsv.
+std::string SweepResultToCsv(const SweepResult& result);
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_RUNNER_SWEEP_H_
