@@ -1,115 +1,98 @@
-// F9 — Rate-adaptation shoot-out (the headline driver-level mechanism).
+// F9 — Rate-adaptation shoot-out (the headline driver-level mechanism), as a
+// thin client of the sweep engine (no google-benchmark).
 //
 // Single 802.11a link under Rayleigh block fading, distance sweep, saturated
-// traffic. Controllers: ARF, AARF, ONOE, SampleRate, Minstrel, and the best
-// fixed rate per distance (the oracle envelope). Expected shape:
-// statistics-based controllers (Minstrel, SampleRate) ≥ AARF ≥ ARF ≥ ONOE at
-// mid range; nothing beats the oracle; ARF oscillates under fading because
-// any 2-failure run knocks it down and 10 successes send it probing.
+// traffic. Two campaigns over the `rate_vs_distance` scenario:
+//   (a) distance × rate_index at fixed rates — the oracle envelope is the
+//       best fixed rate per distance, read off the long-format aggregates;
+//   (b) distance × controller for ARF, AARF, ONOE, SampleRate and Minstrel.
+// Expected shape: statistics-based controllers (Minstrel, SampleRate) ≥
+// AARF ≥ ARF ≥ ONOE at mid range; nothing beats the oracle; ARF oscillates
+// under fading because any 2-failure run knocks it down and 10 successes
+// send it probing. The same grids regenerate from the CLI alone, e.g.:
+//   wlansim_run --scenario=rate_vs_distance --param standard=11a \
+//       --param fading=true --param sim_time_s=8 \
+//       --sweep distance=15,40,70,100 --sweep controller=arf,minstrel
 
-#include <benchmark/benchmark.h>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 
 namespace wlansim {
 namespace {
 
-Table g_table({"controller", "distance_m", "goodput_mbps", "retry_rate_%", "vs_oracle_%"});
+const char* kDistances = "distance=15,40,70,100";
 
-const double kDistances[] = {15, 40, 70, 100};
-const char* const kControllers[] = {"oracle-fixed", "arf", "aarf", "onoe", "samplerate",
-                                    "minstrel"};
-
-double g_oracle[4] = {0, 0, 0, 0};
-
-RunResult RunFading(const std::string& controller, double distance, size_t fixed_index,
-                    uint64_t seed) {
-  Network net(Network::Params{.seed = seed});
-  net.UseLogDistanceLoss(3.0);
-  net.UseRayleighFading();
-  Node* ap = net.AddNode({.role = MacRole::kAp, .standard = PhyStandard::k80211a, .ssid = "f9"});
-  Node* sta = net.AddNode({.role = MacRole::kSta,
-                           .standard = PhyStandard::k80211a,
-                           .ssid = "f9",
-                           .position = {distance, 0, 0}});
-  if (controller == "oracle-fixed") {
-    sta->SetRateController(
-        std::make_unique<FixedRateController>(ModesFor(PhyStandard::k80211a)[fixed_index]));
-  } else {
-    sta->SetRateController(MakeController(controller, PhyStandard::k80211a, net.ForkRng("rc")));
-  }
-  net.StartAll();
-  sta->AddTraffic<SaturatedTraffic>(ap->address(), 1, 1200)->Start(Time::Seconds(1));
-  net.Run(Time::Seconds(9));
-  RunResult r;
-  r.goodput_mbps = net.flow_stats().GoodputMbps();
-  r.retries = sta->mac().counters().retries;
-  r.tx_attempts = sta->mac().counters().tx_data_attempts;
-  return r;
+SweepOptions BaseOptions(const SweepBenchArgs& args) {
+  SweepOptions options;
+  options.scenario = "rate_vs_distance";
+  options.base_params.Set("standard", "11a");
+  options.base_params.Set("fading", "true");
+  options.base_params.Set("sim_time_s", "8");
+  options.base_seed = args.seed;
+  options.replications = args.reps;
+  options.jobs = args.jobs;
+  options.grid.AddAxis(ParseSweepAxis(kDistances));
+  return options;
 }
 
-void Run(benchmark::State& state, const std::string& controller) {
-  const size_t d_idx = static_cast<size_t>(state.range(0));
-  const double distance = kDistances[d_idx];
-  RunResult r{};
-  for (auto _ : state) {
-    if (controller == "oracle-fixed") {
-      // Envelope over all fixed rates.
-      for (size_t i = 0; i < ModesFor(PhyStandard::k80211a).size(); ++i) {
-        const RunResult cand = RunFading(controller, distance, i, 900 + d_idx);
-        if (cand.goodput_mbps > r.goodput_mbps) {
-          r = cand;
-        }
-      }
-      g_oracle[d_idx] = r.goodput_mbps;
-    } else {
-      r = RunFading(controller, distance, 0, 900 + d_idx);
+int Run(int argc, char** argv) {
+  const SweepBenchArgs args = ParseSweepBenchArgs(argc, argv, "bench_f9_rate_adaptation");
+  if (!args.ok) {
+    return 1;
+  }
+
+  SweepOptions fixed_options = BaseOptions(args);
+  const size_t n_modes = ModesFor(PhyStandard::k80211a).size();
+  fixed_options.grid.AddAxis(
+      ParseSweepAxis("rate_index=0:" + std::to_string(n_modes - 1) + ":1"));
+  const SweepResult fixed = RunSweepCampaign(fixed_options);
+
+  SweepOptions adaptive_options = BaseOptions(args);
+  adaptive_options.grid.AddAxis(ParseSweepAxis("controller=arf,aarf,onoe,samplerate,minstrel"));
+  const SweepResult adaptive = RunSweepCampaign(adaptive_options);
+
+  if (!args.csv.empty() && (!WriteSweepCsv(args.csv + ".fixed.csv", fixed) ||
+                            !WriteSweepCsv(args.csv + ".adaptive.csv", adaptive))) {
+    return 1;
+  }
+
+  // Oracle envelope: per distance, the fixed rate with the best mean goodput.
+  std::map<double, double> oracle;  // distance -> mbps, numerically ordered
+  for (const SweepPointResult& point : fixed.points) {
+    const double mbps = MetricMean(point, "goodput_mbps");
+    auto [it, inserted] = oracle.try_emplace(std::stod(PointValue(point, "distance")), mbps);
+    if (!inserted && mbps > it->second) {
+      it->second = mbps;
     }
   }
-  const double retry_rate =
-      r.tx_attempts ? 100.0 * static_cast<double>(r.retries) / static_cast<double>(r.tx_attempts)
-                    : 0.0;
-  const double vs_oracle =
-      g_oracle[d_idx] > 0 ? 100.0 * r.goodput_mbps / g_oracle[d_idx] : 100.0;
-  state.counters["goodput_mbps"] = r.goodput_mbps;
-  g_table.AddRow({controller, Table::Num(distance, 0), Table::Num(r.goodput_mbps, 2),
+
+  Table table({"controller", "distance_m", "goodput_mbps", "retry_rate_%", "vs_oracle_%"});
+  for (const auto& [distance, mbps] : oracle) {
+    table.AddRow({"oracle-fixed", Table::Num(distance, 0), Table::Num(mbps, 2), "-", "100.0"});
+  }
+  for (const SweepPointResult& point : adaptive.points) {
+    const std::string distance = PointValue(point, "distance");
+    const double mbps = MetricMean(point, "goodput_mbps");
+    const double attempts = MetricMean(point, "tx_attempts");
+    const double retry_rate = attempts > 0 ? 100.0 * MetricMean(point, "retries") / attempts : 0;
+    const double best = oracle[std::stod(distance)];
+    const double vs_oracle = best > 0 ? 100.0 * mbps / best : 100.0;
+    table.AddRow({PointValue(point, "controller"), distance, Table::Num(mbps, 2),
                   Table::Num(retry_rate, 1), Table::Num(vs_oracle, 1)});
+  }
+  std::printf("=== F9: rate adaptation under Rayleigh fading (802.11a, 1200 B saturated, "
+              "%llu rep(s)/point) ===\n",
+              static_cast<unsigned long long>(args.reps));
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
 }
-
-void BM_Oracle(benchmark::State& s) {
-  Run(s, "oracle-fixed");
-}
-void BM_Arf(benchmark::State& s) {
-  Run(s, "arf");
-}
-void BM_Aarf(benchmark::State& s) {
-  Run(s, "aarf");
-}
-void BM_Onoe(benchmark::State& s) {
-  Run(s, "onoe");
-}
-void BM_SampleRate(benchmark::State& s) {
-  Run(s, "samplerate");
-}
-void BM_Minstrel(benchmark::State& s) {
-  Run(s, "minstrel");
-}
-
-BENCHMARK(BM_Oracle)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Arf)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Aarf)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Onoe)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_SampleRate)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Minstrel)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace wlansim
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  wlansim::PrintTable(
-      "F9: rate adaptation under Rayleigh fading (802.11a, 1200 B saturated)",
-      wlansim::g_table, argc, argv);
-  return 0;
+  return wlansim::Run(argc, argv);
 }

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "bench/perf_harness.h"
 #include "net/network.h"
 #include "rate/arf.h"
 #include "rate/minstrel.h"
@@ -59,12 +60,9 @@ inline SweepBenchArgs ParseSweepBenchArgs(int argc, char** argv, const char* ben
   // Digits-only, like wlansim_run: a typo'd flag value must be a usage
   // error, not a silently different campaign.
   auto parse_u64 = [&args](const char* flag, const char* v, uint64_t* out) {
-    if (*v == '\0' || std::strspn(v, "0123456789") != std::strlen(v)) {
-      std::fprintf(stderr, "%s expects a non-negative integer, got '%s'\n", flag, v);
+    if (!ParseBenchU64(flag, v, out)) {
       args.ok = false;
-      return;
     }
-    *out = std::strtoull(v, nullptr, 10);
   };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];

@@ -1,28 +1,116 @@
 #include "core/event_queue.h"
 
 #include <algorithm>
-#include <cassert>
-#include <utility>
 
 namespace wlansim {
 
-EventId EventQueue::Schedule(Time at, std::function<void()> fn) {
-  auto state = std::make_shared<EventId::State>(EventId::State::kPending);
-  heap_.push_back(Entry{at, next_seq_++, std::move(fn), state});
-  std::push_heap(heap_.begin(), heap_.end());
-  return EventId(std::move(state));
+uint32_t EventQueue::AllocSlot() {
+  if (free_head_ != kNoSlot) {
+    const uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNoSlot;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
 }
 
-void EventQueue::DropCancelledHead() {
-  while (!heap_.empty() && *heap_.front().state == EventId::State::kCancelled) {
-    std::pop_heap(heap_.begin(), heap_.end());
-    heap_.pop_back();
+void EventQueue::FreeSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.Reset();
+  ++s.generation;  // invalidates every outstanding handle to this slot
+  s.cancelled = false;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void EventQueue::CancelSlot(uint32_t slot, uint32_t generation) {
+  if (!IsLive(slot, generation)) {
+    return;
+  }
+  slots_[slot].cancelled = true;
+  ++tombstones_;
+  // Compact once tombstones outnumber live entries, so a mass cancel can
+  // never keep more than half the heap dead. Waiting for tombstones to
+  // surface at the head would let periodic cancel-heavy workloads (timer
+  // churn) grow the heap without bound.
+  if (tombstones_ * 2 > heap_.size()) {
+    Compact();
   }
 }
 
-bool EventQueue::IsEmpty() {
-  DropCancelledHead();
-  return heap_.empty();
+void EventQueue::DropCancelledHead() {
+  while (!heap_.empty() && slots_[heap_.front().slot].cancelled) {
+    FreeSlot(heap_.front().slot);
+    --tombstones_;
+    PopRoot();
+  }
+}
+
+void EventQueue::Compact() {
+  size_t kept = 0;
+  for (const HeapEntry& entry : heap_) {
+    if (slots_[entry.slot].cancelled) {
+      FreeSlot(entry.slot);
+    } else {
+      heap_[kept++] = entry;
+    }
+  }
+  heap_.resize(kept);
+  tombstones_ = 0;
+  // Floyd heap construction: sift down from the last parent. Keys carry
+  // (time, seq), so the pop order — and therefore FIFO tie-breaking — is
+  // unchanged by the rebuild.
+  if (heap_.size() > 1) {
+    for (size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) {
+      SiftDown(i);
+    }
+  }
+}
+
+void EventQueue::SiftUp(size_t index) {
+  const HeapEntry entry = heap_[index];
+  while (index > 0) {
+    const size_t parent = (index - 1) / 4;
+    if (!Earlier(entry, heap_[parent])) {
+      break;
+    }
+    heap_[index] = heap_[parent];
+    index = parent;
+  }
+  heap_[index] = entry;
+}
+
+void EventQueue::SiftDown(size_t index) {
+  const size_t size = heap_.size();
+  const HeapEntry entry = heap_[index];
+  for (;;) {
+    const size_t first_child = 4 * index + 1;
+    if (first_child >= size) {
+      break;
+    }
+    size_t best = first_child;
+    const size_t last_child = std::min(first_child + 4, size);
+    for (size_t child = first_child + 1; child < last_child; ++child) {
+      if (Earlier(heap_[child], heap_[best])) {
+        best = child;
+      }
+    }
+    if (!Earlier(heap_[best], entry)) {
+      break;
+    }
+    heap_[index] = heap_[best];
+    index = best;
+  }
+  heap_[index] = entry;
+}
+
+void EventQueue::PopRoot() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    SiftDown(0);
+  }
 }
 
 Time EventQueue::NextTime() {
@@ -31,17 +119,20 @@ Time EventQueue::NextTime() {
   return heap_.front().at;
 }
 
-std::function<void()> EventQueue::PopNext(Time* at) {
+EventFn EventQueue::PopNext(Time* at) {
   DropCancelledHead();
   assert(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end());
-  Entry entry = std::move(heap_.back());
-  heap_.pop_back();
-  *entry.state = EventId::State::kExecuted;
+  const HeapEntry head = heap_.front();
+  PopRoot();
+  // Free the slot before running anything: a handle held by (or cancelling
+  // from within) the event itself sees a bumped generation and is inert,
+  // matching the old "executed" state.
+  EventFn fn = std::move(slots_[head.slot].fn);
+  FreeSlot(head.slot);
   if (at != nullptr) {
-    *at = entry.at;
+    *at = head.at;
   }
-  return std::move(entry.fn);
+  return fn;
 }
 
 }  // namespace wlansim

@@ -2,90 +2,254 @@
 //
 // Events with equal timestamps execute in scheduling order (FIFO), which the
 // MAC relies on for deterministic tie-breaking (e.g. two stations whose
-// backoff counters expire in the same slot). Cancellation is O(1): the heap
-// entry is tombstoned and skipped when it reaches the head.
+// backoff counters expire in the same slot).
+//
+// Hot-path layout: events live in a free-listed slab of fixed-size records.
+// The callable is stored in a small-buffer-optimized EventFn (heap fallback
+// only for oversized closures such as per-receiver packet deliveries), so a
+// typical `[this]` MAC timer schedules with zero allocations. The priority
+// queue is a 4-ary heap of plain (time, seq, slot) keys — shallower than a
+// binary heap and with cache-friendly 4-child sift steps — that never moves
+// the callables themselves. EventId is a (slot, generation) handle:
+// cancellation is O(1) tombstoning, and a stale handle whose slot was
+// recycled simply sees a newer generation. Tombstones are dropped when they
+// reach the heap head, and compacted in bulk whenever they outnumber live
+// entries, so mass-cancel workloads cannot bloat the heap.
+//
+// Handles do not keep the queue alive: an EventId must not be used after
+// its EventQueue is destroyed (in practice every handle owner sits inside a
+// Network, which destroys nodes before the simulator).
 
 #ifndef WLANSIM_CORE_EVENT_QUEUE_H_
 #define WLANSIM_CORE_EVENT_QUEUE_H_
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/time.h"
 
 namespace wlansim {
 
-// Handle to a scheduled event. Copyable; all copies refer to the same event.
-// A default-constructed EventId refers to no event.
+class EventQueue;
+
+// Type-erased move-only nullary callable with inline small-buffer storage.
+// Closures up to kInlineBytes (and nothrow-movable) are stored in place;
+// larger ones fall back to a single heap allocation.
+class EventFn {
+ public:
+  static constexpr size_t kInlineBytes = 48;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn>>>
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor): callable wrapper
+    using Decayed = std::decay_t<F>;
+    if constexpr (sizeof(Decayed) <= kInlineBytes &&
+                  alignof(Decayed) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Decayed>) {
+      ::new (static_cast<void*>(storage_)) Decayed(std::forward<F>(fn));
+      ops_ = &kInlineOps<Decayed>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Decayed*(new Decayed(std::forward<F>(fn)));
+      ops_ = &kHeapOps<Decayed>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() {
+    assert(ops_ != nullptr);
+    ops_->invoke(storage_);
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs dst's storage from src's and destroys src's.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename F>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*std::launder(reinterpret_cast<F*>(s)))(); },
+      [](void* dst, void* src) {
+        F* from = std::launder(reinterpret_cast<F*>(src));
+        ::new (dst) F(std::move(*from));
+        from->~F();
+      },
+      [](void* s) { std::launder(reinterpret_cast<F*>(s))->~F(); },
+  };
+
+  template <typename F>
+  static constexpr Ops kHeapOps = {
+      [](void* s) { (**std::launder(reinterpret_cast<F**>(s)))(); },
+      [](void* dst, void* src) {
+        ::new (dst) F*(*std::launder(reinterpret_cast<F**>(src)));
+      },
+      [](void* s) { delete *std::launder(reinterpret_cast<F**>(s)); },
+  };
+
+  void MoveFrom(EventFn& other) {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+// Handle to a scheduled event: the owning queue plus a (slot, generation)
+// pair. Copyable; all copies refer to the same event, and a handle whose
+// event has executed (or whose slot was since recycled) is inert. A
+// default-constructed EventId refers to no event.
 class EventId {
  public:
   EventId() = default;
 
   // True if the event is still waiting to run (not cancelled, not executed).
-  bool IsPending() const { return state_ != nullptr && *state_ == State::kPending; }
+  inline bool IsPending() const;
 
   // Cancels the event if it is still pending. Safe to call repeatedly and on
   // a default-constructed id.
-  void Cancel() {
-    if (IsPending()) {
-      *state_ = State::kCancelled;
-    }
-  }
+  inline void Cancel();
 
  private:
   friend class EventQueue;
-  enum class State : uint8_t { kPending, kCancelled, kExecuted };
 
-  explicit EventId(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  EventId(EventQueue* queue, uint32_t slot, uint32_t generation)
+      : queue_(queue), slot_(slot), generation_(generation) {}
 
-  std::shared_ptr<State> state_;
+  EventQueue* queue_ = nullptr;
+  uint32_t slot_ = 0;
+  uint32_t generation_ = 0;
 };
 
 class EventQueue {
  public:
-  // Schedules `fn` to run at absolute time `at`.
-  EventId Schedule(Time at, std::function<void()> fn);
+  EventQueue() = default;
+  // EventIds hold a pointer to their queue, so the queue is pinned.
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `fn` (any nullary callable) to run at absolute time `at`.
+  template <typename F>
+  EventId Schedule(Time at, F&& fn) {
+    const uint32_t slot = AllocSlot();
+    slots_[slot].fn = EventFn(std::forward<F>(fn));
+    heap_.push_back(HeapEntry{at, next_seq_++, slot});
+    SiftUp(heap_.size() - 1);
+    return EventId(this, slot, slots_[slot].generation);
+  }
 
   // True when no pending (non-cancelled) event remains.
-  bool IsEmpty();
+  bool IsEmpty() const { return heap_.size() == tombstones_; }
 
   // Timestamp of the earliest pending event. Requires !IsEmpty().
   Time NextTime();
 
   // Removes the earliest pending event and returns its action. If `at` is
   // non-null it receives the event's timestamp. Requires !IsEmpty().
-  std::function<void()> PopNext(Time* at);
+  EventFn PopNext(Time* at);
 
-  // Entries currently held (including not-yet-purged tombstones).
+  // Entries currently held (including not-yet-compacted tombstones).
   size_t HeapSize() const { return heap_.size(); }
+
+  // Cancelled entries still occupying the heap. Bounded: compaction runs as
+  // soon as tombstones outnumber live entries.
+  size_t TombstoneCount() const { return tombstones_; }
 
   // Total events ever scheduled (for engine microbenchmarks).
   uint64_t TotalScheduled() const { return next_seq_; }
 
  private:
-  struct Entry {
-    Time at;
-    uint64_t seq;  // tie-breaker: FIFO among equal timestamps
-    std::function<void()> fn;
-    std::shared_ptr<EventId::State> state;
+  friend class EventId;
 
-    // std::push_heap builds a max-heap; invert so the earliest (time, seq)
-    // pair wins.
-    bool operator<(const Entry& other) const {
-      if (at != other.at) {
-        return at > other.at;
-      }
-      return seq > other.seq;
-    }
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+  // One slab record. `generation` increments every time the slot is freed,
+  // invalidating outstanding handles in O(1).
+  struct Slot {
+    EventFn fn;
+    uint32_t generation = 0;
+    uint32_t next_free = kNoSlot;
+    bool cancelled = false;
   };
 
-  void DropCancelledHead();
+  struct HeapEntry {
+    Time at;
+    uint64_t seq;  // tie-breaker: FIFO among equal timestamps
+    uint32_t slot;
+  };
 
-  std::vector<Entry> heap_;
+  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+  }
+
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t slot);
+
+  bool IsLive(uint32_t slot, uint32_t generation) const {
+    return slot < slots_.size() && slots_[slot].generation == generation &&
+           !slots_[slot].cancelled;
+  }
+  void CancelSlot(uint32_t slot, uint32_t generation);
+
+  // Drops cancelled entries off the heap head so the root is live.
+  void DropCancelledHead();
+  // Removes every tombstone and re-heapifies; called when tombstones exceed
+  // half the heap.
+  void Compact();
+
+  // 4-ary min-heap primitives over (at, seq).
+  void SiftUp(size_t index);
+  void SiftDown(size_t index);
+  void PopRoot();
+
+  std::vector<Slot> slots_;
+  std::vector<HeapEntry> heap_;
+  uint32_t free_head_ = kNoSlot;
+  size_t tombstones_ = 0;
   uint64_t next_seq_ = 0;
 };
+
+inline bool EventId::IsPending() const {
+  return queue_ != nullptr && queue_->IsLive(slot_, generation_);
+}
+
+inline void EventId::Cancel() {
+  if (queue_ != nullptr) {
+    queue_->CancelSlot(slot_, generation_);
+  }
+}
 
 }  // namespace wlansim
 

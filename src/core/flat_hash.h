@@ -1,0 +1,107 @@
+// A minimal open-addressing hash map from uint64_t keys to a small value
+// type, used for per-link state on the PHY hot path (shadowing draws, matrix
+// losses). Compared to std::map, lookups are one hash + a short linear probe
+// over a contiguous array instead of a pointer-chasing tree walk, and there
+// is one allocation per doubling instead of one per node.
+
+#ifndef WLANSIM_CORE_FLAT_HASH_H_
+#define WLANSIM_CORE_FLAT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace wlansim {
+
+template <typename Value>
+class FlatHash64 {
+ public:
+  // Pointer to the value for `key`, or nullptr when absent. Stable only
+  // until the next insertion.
+  Value* Find(uint64_t key) {
+    if (size_ == 0) {
+      return nullptr;
+    }
+    for (size_t i = Mix(key) & mask_;; i = (i + 1) & mask_) {
+      Slot& slot = slots_[i];
+      if (!slot.used) {
+        return nullptr;
+      }
+      if (slot.key == key) {
+        return &slot.value;
+      }
+    }
+  }
+  const Value* Find(uint64_t key) const {
+    return const_cast<FlatHash64*>(this)->Find(key);
+  }
+
+  // Inserts or overwrites; returns the stored value. An overwrite of an
+  // existing key never rehashes; inserting a new one invalidates pointers
+  // previously returned by Find when the load threshold is crossed.
+  Value& InsertOrAssign(uint64_t key, Value value) {
+    if (Value* existing = Find(key)) {
+      *existing = std::move(value);
+      return *existing;
+    }
+    // Grow at 7/8 load so probe chains stay short.
+    if (slots_.empty() || (size_ + 1) * 8 > slots_.size() * 7) {
+      Grow();
+    }
+    return InsertAbsent(key, std::move(value));
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    Value value{};
+    bool used = false;
+  };
+
+  // splitmix64 finalizer: full-avalanche mixing so sequential node-id pairs
+  // spread across the table.
+  static size_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+
+  // Requires `key` to be absent and a free slot to exist.
+  Value& InsertAbsent(uint64_t key, Value value) {
+    for (size_t i = Mix(key) & mask_;; i = (i + 1) & mask_) {
+      Slot& slot = slots_[i];
+      if (!slot.used) {
+        slot.used = true;
+        slot.key = key;
+        slot.value = std::move(value);
+        ++size_;
+        return slot.value;
+      }
+    }
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    size_ = 0;
+    for (Slot& slot : old) {
+      if (slot.used) {
+        InsertAbsent(slot.key, std::move(slot.value));
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_CORE_FLAT_HASH_H_

@@ -8,7 +8,7 @@
 #define WLANSIM_CORE_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "core/event_queue.h"
 #include "core/time.h"
@@ -24,19 +24,23 @@ class Simulator {
   // Current simulation time. Starts at zero.
   Time Now() const { return now_; }
 
-  // Schedules `fn` to run `delay` after Now(). Negative delays are clamped to
-  // zero (run "immediately after" the current event, preserving FIFO order).
-  EventId Schedule(Time delay, std::function<void()> fn) {
-    Time at = delay.IsNegative() ? now_ : now_ + delay;
-    return queue_.Schedule(at, std::move(fn));
+  // Schedules `fn` (any nullary callable; forwarded into the event slab
+  // without type erasure overhead) to run `delay` after Now(). Negative
+  // delays are clamped to zero (run "immediately after" the current event,
+  // preserving FIFO order).
+  template <typename F>
+  EventId Schedule(Time delay, F&& fn) {
+    const Time at = delay.IsNegative() ? now_ : now_ + delay;
+    return queue_.Schedule(at, std::forward<F>(fn));
   }
 
   // Schedules `fn` at absolute time `at` (clamped to Now()).
-  EventId ScheduleAt(Time at, std::function<void()> fn) {
+  template <typename F>
+  EventId ScheduleAt(Time at, F&& fn) {
     if (at < now_) {
       at = now_;
     }
-    return queue_.Schedule(at, std::move(fn));
+    return queue_.Schedule(at, std::forward<F>(fn));
   }
 
   // Runs events until the queue drains, Stop() is called, or the optional

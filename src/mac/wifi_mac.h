@@ -258,6 +258,9 @@ class WifiMac final : public PhyListener {
   TxDoneCallback tx_done_;
 
   std::optional<TxContext> tx_;
+  // Slot/generation handle into the event slab; the cancel-and-reschedule
+  // idiom below is O(1) tombstoning, and a handle whose event already ran
+  // (slot recycled, generation bumped) cancels as a no-op.
   EventId response_timeout_;
   std::unordered_map<MacAddress, uint16_t> sequence_counters_;
 

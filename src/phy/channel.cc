@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "core/units.h"
+#include "phy/mobility.h"
 #include "phy/propagation.h"
 #include "phy/wifi_phy.h"
 
@@ -12,27 +13,66 @@ Channel::Channel(Simulator* sim, std::unique_ptr<PropagationLossModel> loss, Rng
     : sim_(sim), loss_(std::move(loss)), rng_(rng) {}
 
 void Channel::Attach(WifiPhy* phy) {
+  phy_index_.InsertOrAssign(reinterpret_cast<uintptr_t>(phy),
+                            static_cast<uint32_t>(phys_.size()));
   phys_.push_back(phy);
+  // The cache is tx-major with stride phys_.size(): re-attach invalidates
+  // everything (attachment only happens during scenario assembly).
+  link_cache_.assign(phys_.size() * phys_.size(), LinkState{});
 }
 
 void Channel::Send(WifiPhy* sender, const Packet& packet, const WifiMode& mode,
                    bool short_preamble) {
   const Time now = sim_->Now();
-  const Vector3 tx_pos = sender->mobility()->PositionAt(now);
   const double frequency = sender->timing().frequency_hz;
+  MobilityModel* tx_mobility = sender->mobility();
+  const bool tx_static = tx_mobility->IsStatic();
+  const uint64_t tx_epoch = tx_mobility->PositionEpoch();
+  const uint64_t loss_epoch = loss_->MutationEpoch();
+  const uint32_t* tx_index = phy_index_.Find(reinterpret_cast<uintptr_t>(sender));
+  assert(tx_index != nullptr);
+  LinkState* tx_row = &link_cache_[*tx_index * phys_.size()];
 
-  for (WifiPhy* rx : phys_) {
+  // Transmit position is only needed on a cache miss; when every receiver
+  // row hits, the mobility model is never queried.
+  Vector3 tx_pos;
+  bool tx_pos_known = false;
+
+  for (size_t i = 0; i < phys_.size(); ++i) {
+    WifiPhy* rx = phys_[i];
     if (rx == sender || rx->channel_number() != sender->channel_number()) {
       continue;
     }
-    const Vector3 rx_pos = rx->mobility()->PositionAt(now);
-    const uint64_t link_id = MatrixLossModel::MakeLinkId(sender->node_id(), rx->node_id());
-    double rx_dbm =
-        loss_->RxPowerDbm(sender->config().tx_power_dbm, tx_pos, rx_pos, frequency, link_id);
+    MobilityModel* rx_mobility = rx->mobility();
+    LinkState& entry = tx_row[i];
+    const bool cacheable = tx_static && rx_mobility->IsStatic();
+    double rx_dbm;
+    Time delay;
+    if (cacheable && entry.tx_mobility == tx_mobility && entry.rx_mobility == rx_mobility &&
+        entry.tx_epoch == tx_epoch && entry.rx_epoch == rx_mobility->PositionEpoch() &&
+        entry.loss_epoch == loss_epoch) {
+      rx_dbm = entry.rx_dbm;
+      delay = entry.delay;
+      ++cache_stats_.hits;
+    } else {
+      if (!tx_pos_known) {
+        tx_pos = tx_mobility->PositionAt(now);
+        tx_pos_known = true;
+      }
+      const Vector3 rx_pos = rx_mobility->PositionAt(now);
+      const uint64_t link_id = MatrixLossModel::MakeLinkId(sender->node_id(), rx->node_id());
+      rx_dbm =
+          loss_->RxPowerDbm(sender->config().tx_power_dbm, tx_pos, rx_pos, frequency, link_id);
+      delay = delay_model_.Delay(tx_pos, rx_pos);
+      ++cache_stats_.misses;
+      if (cacheable) {
+        entry = LinkState{rx_dbm,   delay,    tx_mobility, rx_mobility,
+                          tx_epoch, rx_mobility->PositionEpoch(), loss_epoch};
+      }
+    }
     if (fading_ != nullptr) {
       rx_dbm += RatioToDb(fading_->SampleGain(rng_));
     }
-    const Time delay = delay_model_.Delay(tx_pos, rx_pos);
 
     // Copy by value: each receiver owns an independent packet instance.
     Packet copy = packet;

@@ -5,6 +5,14 @@
 // an optional per-frame fading draw) and schedules the arrival. PHYs tuned
 // to different channel numbers do not hear each other (adjacent-channel
 // leakage is out of scope).
+//
+// Hot path: received power and delay between two *static* nodes never
+// change, so they are memoized in a per-(tx, rx) LinkCache row instead of
+// being recomputed through the loss model on every transmission. Rows
+// validate against the endpoints' MobilityModel identity and position
+// epoch — a moving node (IsStatic() == false) bypasses the cache, and a
+// teleported static node (SetPosition bumps its epoch) invalidates its rows
+// on the next lookup, with no explicit invalidation traffic.
 
 #ifndef WLANSIM_PHY_CHANNEL_H_
 #define WLANSIM_PHY_CHANNEL_H_
@@ -12,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/flat_hash.h"
 #include "core/packet.h"
 #include "core/random.h"
 #include "core/simulator.h"
@@ -21,13 +30,15 @@
 
 namespace wlansim {
 
+class MobilityModel;
 class WifiPhy;
 
 class Channel {
  public:
   Channel(Simulator* sim, std::unique_ptr<PropagationLossModel> loss, Rng rng);
 
-  // Optional per-frame fading (applied on top of the loss model).
+  // Optional per-frame fading (applied on top of the loss model, never
+  // cached). Setting it does not disturb the link cache.
   void SetFading(std::unique_ptr<FadingModel> fading) { fading_ = std::move(fading); }
 
   void Attach(WifiPhy* phy);
@@ -35,15 +46,48 @@ class Channel {
   // Broadcasts `packet` from `sender`. Called by WifiPhy::StartTx.
   void Send(WifiPhy* sender, const Packet& packet, const WifiMode& mode, bool short_preamble);
 
+  // Built-in loss models bump their MutationEpoch on mid-run edits (e.g.
+  // MatrixLossModel::SetLoss), which invalidates memoized rows
+  // automatically. A user-defined model that mutates without bumping must
+  // call InvalidateLinkCache() instead.
   PropagationLossModel& loss_model() { return *loss_; }
 
+  // Drops every memoized link row; the next transmission recomputes through
+  // the loss model.
+  void InvalidateLinkCache() {
+    link_cache_.assign(link_cache_.size(), LinkState{});
+  }
+
+  // Link-cache hit/miss counters (diagnostics and cache tests).
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;  // includes uncacheable (moving-endpoint) links
+  };
+  const CacheStats& cache_stats() const { return cache_stats_; }
+
  private:
+  // One memoized (tx, rx) link. Valid while both endpoints still use the
+  // same MobilityModel instances and neither position epoch nor the loss
+  // model's mutation epoch has moved.
+  struct LinkState {
+    double rx_dbm = 0.0;  // pre-fading received power
+    Time delay;
+    const MobilityModel* tx_mobility = nullptr;  // nullptr = never filled
+    const MobilityModel* rx_mobility = nullptr;
+    uint64_t tx_epoch = 0;
+    uint64_t rx_epoch = 0;
+    uint64_t loss_epoch = 0;
+  };
+
   Simulator* sim_;
   std::unique_ptr<PropagationLossModel> loss_;
   std::unique_ptr<FadingModel> fading_;
   ConstantSpeedDelayModel delay_model_;
   Rng rng_;
   std::vector<WifiPhy*> phys_;
+  FlatHash64<uint32_t> phy_index_;    // WifiPhy* -> index into phys_
+  std::vector<LinkState> link_cache_;  // phys_.size()^2 rows, tx-major
+  CacheStats cache_stats_;
 };
 
 }  // namespace wlansim

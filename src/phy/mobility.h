@@ -17,16 +17,33 @@ class MobilityModel {
  public:
   virtual ~MobilityModel() = default;
   virtual Vector3 PositionAt(Time now) = 0;
+
+  // True when the position never changes on its own over simulated time.
+  // The channel's link cache only memoizes propagation between two static
+  // nodes; continuously moving models return false and bypass it.
+  virtual bool IsStatic() const { return false; }
+
+  // Bumped every time the position is changed externally (teleports,
+  // scenario reconfiguration). Lets cache entries for static nodes go stale
+  // without any explicit invalidation call — dirty-marking by comparison.
+  virtual uint64_t PositionEpoch() const { return 0; }
 };
 
 class ConstantPositionMobility final : public MobilityModel {
  public:
   explicit ConstantPositionMobility(Vector3 position) : position_(position) {}
   Vector3 PositionAt(Time) override { return position_; }
-  void SetPosition(Vector3 position) { position_ = position; }
+  void SetPosition(Vector3 position) {
+    position_ = position;
+    ++epoch_;
+  }
+
+  bool IsStatic() const override { return true; }
+  uint64_t PositionEpoch() const override { return epoch_; }
 
  private:
   Vector3 position_;
+  uint64_t epoch_ = 0;
 };
 
 // Straight-line motion from `start` at `velocity` (m/s) beginning at t=0.

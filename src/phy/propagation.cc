@@ -35,26 +35,27 @@ double LogDistanceLossModel::RxPowerDbm(double tx_power_dbm, const Vector3& tx_p
   double loss = FriisLossDb(kRefDistance, frequency_hz) +
                 10.0 * exponent_ * std::log10(d / kRefDistance);
   if (sigma_db_ > 0.0) {
-    auto [it, inserted] = link_shadowing_db_.try_emplace(link_id, 0.0);
-    if (inserted) {
-      it->second = rng_.Normal(0.0, sigma_db_);
+    const double* shadowing = link_shadowing_db_.Find(link_id);
+    if (shadowing == nullptr) {
+      // First transmission on this link: draw the quasi-static shadowing.
+      shadowing = &link_shadowing_db_.InsertOrAssign(link_id, rng_.Normal(0.0, sigma_db_));
     }
-    loss += it->second;
+    loss += *shadowing;
   }
   return tx_power_dbm - loss;
 }
 
 void MatrixLossModel::SetLoss(uint32_t node_a, uint32_t node_b, double loss_db) {
-  loss_db_[MakeLinkId(node_a, node_b)] = loss_db;
-  loss_db_[MakeLinkId(node_b, node_a)] = loss_db;
+  loss_db_.InsertOrAssign(MakeLinkId(node_a, node_b), loss_db);
+  loss_db_.InsertOrAssign(MakeLinkId(node_b, node_a), loss_db);
+  BumpMutationEpoch();
 }
 
 double MatrixLossModel::RxPowerDbm(double tx_power_dbm, const Vector3& /*tx_pos*/,
                                    const Vector3& /*rx_pos*/, double /*frequency_hz*/,
                                    uint64_t link_id) {
-  auto it = loss_db_.find(link_id);
-  const double loss = it == loss_db_.end() ? default_loss_db_ : it->second;
-  return tx_power_dbm - loss;
+  const double* entry = loss_db_.Find(link_id);
+  return tx_power_dbm - (entry == nullptr ? default_loss_db_ : *entry);
 }
 
 }  // namespace wlansim

@@ -7,10 +7,10 @@
 #define WLANSIM_PHY_PROPAGATION_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <utility>
 
+#include "core/flat_hash.h"
 #include "core/random.h"
 #include "core/time.h"
 #include "core/vector3.h"
@@ -26,6 +26,20 @@ class PropagationLossModel {
   // (shadowing); pass the same id for the same ordered pair.
   virtual double RxPowerDbm(double tx_power_dbm, const Vector3& tx_pos, const Vector3& rx_pos,
                             double frequency_hz, uint64_t link_id) = 0;
+
+  // Bumped by every mutation that changes future RxPowerDbm results for
+  // unchanged inputs (e.g. MatrixLossModel::SetLoss). The channel's link
+  // cache compares it like a mobility position epoch, so mid-run loss edits
+  // invalidate memoized rows automatically. Internal first-use memoization
+  // (a shadowing draw) is not a mutation: replaying the same inputs still
+  // yields the same power.
+  uint64_t MutationEpoch() const { return mutation_epoch_; }
+
+ protected:
+  void BumpMutationEpoch() { ++mutation_epoch_; }
+
+ private:
+  uint64_t mutation_epoch_ = 0;
 };
 
 // Friis free-space: Pr = Pt + 20log10(c / (4 pi f d)). Below 1 m the model
@@ -51,7 +65,9 @@ class LogDistanceLossModel final : public PropagationLossModel {
   double exponent_;
   double sigma_db_;
   Rng rng_;
-  std::map<uint64_t, double> link_shadowing_db_;
+  // Per-link quasi-static shadowing draws, keyed by link id. Flat hash: the
+  // lookup sits on the per-transmission hot path.
+  FlatHash64<double> link_shadowing_db_;
 };
 
 // Explicit per-link loss in dB; unlisted links get `default_loss_db`. The
@@ -73,7 +89,7 @@ class MatrixLossModel final : public PropagationLossModel {
 
  private:
   double default_loss_db_;
-  std::map<uint64_t, double> loss_db_;
+  FlatHash64<double> loss_db_;
 };
 
 class PropagationDelayModel {

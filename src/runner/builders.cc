@@ -209,6 +209,9 @@ EdcaQosResult RunEdcaScenario(const EdcaQosParams& p) {
 RunResult RunLinkScenario(const LinkParams& p) {
   Network net(Network::Params{.seed = p.seed});
   net.UseLogDistanceLoss(3.0);
+  if (p.rayleigh_fading) {
+    net.UseRayleighFading();
+  }
   Node* ap = net.AddNode({.role = MacRole::kAp, .standard = p.standard, .ssid = "f1"});
   Node* sta = net.AddNode({.role = MacRole::kSta,
                            .standard = p.standard,

@@ -91,12 +91,14 @@ struct EdcaQosResult {
 EdcaQosResult RunEdcaScenario(const EdcaQosParams& p);
 
 // Single saturated link at `distance` with either a fixed rate (index into
-// ModesFor) or a named rate-control algorithm.
+// ModesFor) or a named rate-control algorithm, optionally under Rayleigh
+// block fading (the F9 rate-adaptation shoot-out configuration).
 struct LinkParams {
   PhyStandard standard = PhyStandard::k80211b;
   double distance = 10.0;
   size_t rate_index = 0;    // used when controller is empty
   std::string controller;   // "", "arf", "aarf", "onoe", "samplerate", "minstrel"
+  bool rayleigh_fading = false;
   size_t payload = 1200;
   Time sim_time = Time::Seconds(4);
   uint64_t seed = 7;

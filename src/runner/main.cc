@@ -145,7 +145,8 @@ int RunSweep(const CampaignOptions& base, const std::vector<std::string>& sweep_
                 shard_index, shard_count, static_cast<unsigned long long>(result.replications),
                 static_cast<unsigned long long>(result.base_seed));
     std::vector<std::string> header = result.param_keys;
-    for (const char* col : {"metric", "count", "mean", "stddev", "ci95_half", "min", "max"}) {
+    for (const char* col :
+         {"metric", "count", "mean", "stddev", "ci95_half", "min", "max", "p50", "p95"}) {
       header.emplace_back(col);
     }
     Table table(header);
@@ -157,7 +158,7 @@ int RunSweep(const CampaignOptions& base, const std::vector<std::string>& sweep_
         }
         row.push_back(a.metric);
         row.push_back(std::to_string(a.count));
-        for (double v : {a.mean, a.stddev, a.ci95_half, a.min, a.max}) {
+        for (double v : {a.mean, a.stddev, a.ci95_half, a.min, a.max, a.p50, a.p95}) {
           row.push_back(Table::Num(v, 4));
         }
         table.AddRow(row);
@@ -291,11 +292,11 @@ int Main(int argc, char** argv) {
     std::printf("=== %s: %llu replication(s), base seed %llu ===\n", result.scenario.c_str(),
                 static_cast<unsigned long long>(result.replications.size()),
                 static_cast<unsigned long long>(result.base_seed));
-    Table table({"metric", "count", "mean", "stddev", "ci95_half", "min", "max"});
+    Table table({"metric", "count", "mean", "stddev", "ci95_half", "min", "max", "p50", "p95"});
     for (const MetricAggregate& a : result.aggregates) {
       table.AddRow({a.metric, std::to_string(a.count), Table::Num(a.mean, 4),
                     Table::Num(a.stddev, 4), Table::Num(a.ci95_half, 4), Table::Num(a.min, 4),
-                    Table::Num(a.max, 4)});
+                    Table::Num(a.max, 4), Table::Num(a.p50, 4), Table::Num(a.p95, 4)});
     }
     std::fputs(table.ToString().c_str(), stdout);
   }

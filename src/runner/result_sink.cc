@@ -1,5 +1,6 @@
 #include "runner/result_sink.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
@@ -63,6 +64,31 @@ double StudentT95(uint64_t df) {
   return 1.960;
 }
 
+namespace {
+
+// ExactQuantile on an already-sorted sample, so Aggregate can sort each
+// metric once and read several quantiles off it.
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double h = static_cast<double>(sorted.size() - 1) * q;
+  const size_t lo = static_cast<size_t>(h);
+  if (lo + 1 >= sorted.size()) {
+    return sorted.back();
+  }
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+}  // namespace
+
+double ExactQuantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return QuantileSorted(values, q);
+}
+
 ResultSink::ResultSink(size_t replications) : replications_(replications) {}
 
 void ResultSink::Store(size_t replication, ReplicationResult result) {
@@ -73,15 +99,20 @@ void ResultSink::Store(size_t replication, ReplicationResult result) {
 
 std::vector<MetricAggregate> ResultSink::Aggregate() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::map<std::string, Summary> by_metric;
+  // The rows are all in memory, so quantiles are exact: collect each
+  // metric's values alongside its running summary.
+  std::map<std::string, std::pair<Summary, std::vector<double>>> by_metric;
   for (const ReplicationResult& rep : replications_) {
     for (const auto& [name, value] : rep.metrics) {
-      by_metric[name].Add(value);
+      auto& [summary, values] = by_metric[name];
+      summary.Add(value);
+      values.push_back(value);
     }
   }
   std::vector<MetricAggregate> out;
   out.reserve(by_metric.size());
-  for (const auto& [name, summary] : by_metric) {
+  for (auto& [name, entry] : by_metric) {
+    auto& [summary, values] = entry;
     MetricAggregate agg;
     agg.metric = name;
     agg.count = summary.count();
@@ -93,6 +124,9 @@ std::vector<MetricAggregate> ResultSink::Aggregate() const {
                         : 0.0;
     agg.min = summary.min();
     agg.max = summary.max();
+    std::sort(values.begin(), values.end());
+    agg.p50 = QuantileSorted(values, 0.50);
+    agg.p95 = QuantileSorted(values, 0.95);
     out.push_back(std::move(agg));
   }
   return out;
@@ -126,10 +160,11 @@ std::string ResultSink::ReplicationsToCsv(const std::vector<ReplicationResult>& 
 }
 
 std::string ResultSink::AggregatesToCsv(const std::vector<MetricAggregate>& aggregates) {
-  std::string csv = "metric,count,mean,stddev,ci95_half,min,max\n";
+  std::string csv = "metric,count,mean,stddev,ci95_half,min,max,p50,p95\n";
   for (const MetricAggregate& a : aggregates) {
     csv += CsvField(a.metric) + "," + std::to_string(a.count) + "," + Num(a.mean) + "," +
-           Num(a.stddev) + "," + Num(a.ci95_half) + "," + Num(a.min) + "," + Num(a.max) + "\n";
+           Num(a.stddev) + "," + Num(a.ci95_half) + "," + Num(a.min) + "," + Num(a.max) + "," +
+           Num(a.p50) + "," + Num(a.p95) + "\n";
   }
   return csv;
 }
@@ -140,7 +175,7 @@ std::string ResultSink::SweepLongCsv(const std::vector<std::string>& param_keys,
   for (const std::string& key : param_keys) {
     csv += CsvField(key) + ",";
   }
-  csv += "metric,count,mean,stddev,ci95_half,min,max\n";
+  csv += "metric,count,mean,stddev,ci95_half,min,max,p50,p95\n";
   for (const SweepRow& row : rows) {
     assert(row.param_values.size() == param_keys.size());
     std::string prefix;
@@ -150,7 +185,7 @@ std::string ResultSink::SweepLongCsv(const std::vector<std::string>& param_keys,
     for (const MetricAggregate& a : row.aggregates) {
       csv += prefix + CsvField(a.metric) + "," + std::to_string(a.count) + "," + Num(a.mean) +
              "," + Num(a.stddev) + "," + Num(a.ci95_half) + "," + Num(a.min) + "," + Num(a.max) +
-             "\n";
+             "," + Num(a.p50) + "," + Num(a.p95) + "\n";
     }
   }
   return csv;
@@ -168,7 +203,8 @@ std::string ResultSink::AggregatesToJson(const std::string& scenario_name,
     json += "    \"" + a.metric + "\": {\"count\": " + std::to_string(a.count) +
             ", \"mean\": " + Num(a.mean) + ", \"stddev\": " + Num(a.stddev) +
             ", \"ci95_half\": " + Num(a.ci95_half) + ", \"min\": " + Num(a.min) +
-            ", \"max\": " + Num(a.max) + "}";
+            ", \"max\": " + Num(a.max) + ", \"p50\": " + Num(a.p50) +
+            ", \"p95\": " + Num(a.p95) + "}";
   }
   json += "\n  }\n}\n";
   return json;

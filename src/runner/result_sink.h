@@ -22,7 +22,16 @@ struct MetricAggregate {
   double ci95_half = 0.0; // Student-t 95 % confidence half-width on the mean
   double min = 0.0;
   double max = 0.0;
+  double p50 = 0.0;  // exact median over the stored replications
+  double p95 = 0.0;  // exact 95th percentile over the stored replications
 };
+
+// Exact sample quantile with linear interpolation between order statistics
+// (the R type-7 / NumPy default): for n values, rank h = (n-1)q, result is
+// v[floor(h)] + (h - floor(h)) * (v[floor(h)+1] - v[floor(h)]). `values`
+// need not be sorted; it is copied. Returns 0 for an empty sample. Exposed
+// for the quantile-math tests.
+double ExactQuantile(std::vector<double> values, double q);
 
 // Two-sided 95 % Student-t critical value for `df` degrees of freedom
 // (asymptotically 1.960). Exposed for the aggregation test.
@@ -61,7 +70,7 @@ class ResultSink {
   // One CSV row per replication: replication,<metric columns sorted by name>.
   static std::string ReplicationsToCsv(const std::vector<ReplicationResult>& replications);
 
-  // One CSV row per metric: metric,count,mean,stddev,ci95_half,min,max.
+  // One CSV row per metric: metric,count,mean,stddev,ci95_half,min,max,p50,p95.
   static std::string AggregatesToCsv(const std::vector<MetricAggregate>& aggregates);
 
   // {"scenario": ..., "replications": N, "metrics": {name: {...}, ...}}
@@ -69,7 +78,7 @@ class ResultSink {
                                       const std::vector<MetricAggregate>& aggregates);
 
   // Long-format sweep CSV: header `<param_keys...>,metric,count,mean,stddev,
-  // ci95_half,min,max`, then one row per (grid point, metric). Rows from a
+  // ci95_half,min,max,p50,p95`, then one row per (grid point, metric). Rows from a
   // shard slice concatenate under a single header into exactly the unsharded
   // output.
   static std::string SweepLongCsv(const std::vector<std::string>& param_keys,

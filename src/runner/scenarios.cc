@@ -137,6 +137,7 @@ void RegisterRateVsDistance(ScenarioRegistry& r) {
        {"distance", "60", "link distance in metres"},
        {"controller", "", "rate controller: arf/aarf/onoe/samplerate/minstrel (empty = fixed)"},
        {"rate_index", "0", "fixed rate index (when controller is empty)"},
+       {"fading", "false", "apply per-frame Rayleigh block fading"},
        {"payload", "1200", "MSDU payload bytes"},
        {"sim_time_s", "4", "measured simulation seconds (after 1 s warmup)"}},
       [](const ScenarioParams& params, const ReplicationContext& ctx) {
@@ -145,6 +146,7 @@ void RegisterRateVsDistance(ScenarioRegistry& r) {
         p.distance = params.GetDouble("distance", 60.0);
         p.controller = params.GetString("controller", "");
         p.rate_index = static_cast<size_t>(params.GetUint("rate_index", 0));
+        p.rayleigh_fading = params.GetBool("fading", false);
         p.payload = static_cast<size_t>(params.GetUint("payload", 1200));
         p.sim_time = Time::Seconds(params.GetDouble("sim_time_s", 4.0));
         p.seed = ctx.seed;

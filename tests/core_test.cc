@@ -3,11 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <string>
 #include <vector>
 
 #include "core/event_queue.h"
+#include "core/flat_hash.h"
 #include "core/mac_address.h"
 #include "core/packet.h"
 #include "core/random.h"
@@ -115,6 +117,120 @@ TEST(EventQueue, DefaultEventIdIsInert) {
   EventId id;
   EXPECT_FALSE(id.IsPending());
   id.Cancel();  // no crash
+}
+
+TEST(EventQueue, CancelAfterExecutionIsInert) {
+  EventQueue q;
+  int runs = 0;
+  EventId id = q.Schedule(Time::Micros(1), [&] { ++runs; });
+  q.PopNext(nullptr)();
+  EXPECT_FALSE(id.IsPending());
+  // The executed event's slot is free for reuse; a stale Cancel must not
+  // touch whatever event recycles it.
+  EventId next = q.Schedule(Time::Micros(2), [&] { ++runs; });
+  id.Cancel();
+  EXPECT_TRUE(next.IsPending());
+  q.PopNext(nullptr)();
+  EXPECT_EQ(runs, 2);
+  EXPECT_TRUE(q.IsEmpty());
+}
+
+TEST(EventQueue, GenerationGuardsRecycledSlots) {
+  EventQueue q;
+  bool first_ran = false;
+  bool second_ran = false;
+  EventId first = q.Schedule(Time::Micros(1), [&] { first_ran = true; });
+  first.Cancel();
+  EXPECT_TRUE(q.IsEmpty());
+  // The cancelled slot is recycled; the stale handle (older generation)
+  // must neither report pending nor cancel the new occupant.
+  EventId second = q.Schedule(Time::Micros(1), [&] { second_ran = true; });
+  first.Cancel();
+  EXPECT_FALSE(first.IsPending());
+  EXPECT_TRUE(second.IsPending());
+  while (!q.IsEmpty()) {
+    q.PopNext(nullptr)();
+  }
+  EXPECT_FALSE(first_ran);
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(EventQueue, SelfCancelDuringExecutionIsInert) {
+  EventQueue q;
+  EventId id;
+  int runs = 0;
+  id = q.Schedule(Time::Micros(1), [&] {
+    ++runs;
+    id.Cancel();  // the event is already executing: must be a no-op
+    EXPECT_FALSE(id.IsPending());
+  });
+  q.PopNext(nullptr)();
+  EXPECT_EQ(runs, 1);
+  EXPECT_TRUE(q.IsEmpty());
+}
+
+TEST(EventQueue, TombstonesNeverExceedHalfTheHeap) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.Schedule(Time::Micros(i), [] {}));
+  }
+  // Mass-cancel the first 600: compaction must keep the invariant
+  // tombstones <= heap/2 at every step, not just at the head.
+  for (int i = 0; i < 600; ++i) {
+    ids[static_cast<size_t>(i)].Cancel();
+    EXPECT_LE(q.TombstoneCount() * 2, q.HeapSize());
+  }
+  EXPECT_LT(q.HeapSize(), 1000u);  // at least one bulk compaction ran
+  int executed = 0;
+  while (!q.IsEmpty()) {
+    q.PopNext(nullptr)();
+    ++executed;
+  }
+  EXPECT_EQ(executed, 400);
+}
+
+TEST(EventQueue, CompactionPreservesFifoOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  // All at the same timestamp, so only the seq tie-breaker orders them.
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.Schedule(Time::Micros(5), [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 60; ++i) {  // > half: forces a bulk compaction
+    ids[static_cast<size_t>(i)].Cancel();
+  }
+  while (!q.IsEmpty()) {
+    q.PopNext(nullptr)();
+  }
+  ASSERT_EQ(order.size(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], 60 + i);
+  }
+}
+
+TEST(EventQueue, OversizedClosureUsesHeapFallbackIntact) {
+  EventQueue q;
+  std::array<uint64_t, 32> big{};  // 256 B closure: above the inline buffer
+  static_assert(sizeof(big) > EventFn::kInlineBytes);
+  big[31] = 7;
+  uint64_t seen = 0;
+  q.Schedule(Time::Micros(1), [big, &seen] { seen = big[31]; });
+  q.PopNext(nullptr)();
+  EXPECT_EQ(seen, 7u);
+}
+
+TEST(EventQueue, CountersTrackScheduledAndHeld) {
+  EventQueue q;
+  EXPECT_EQ(q.TotalScheduled(), 0u);
+  q.Schedule(Time::Micros(1), [] {});
+  q.Schedule(Time::Micros(2), [] {});
+  EXPECT_EQ(q.TotalScheduled(), 2u);
+  EXPECT_EQ(q.HeapSize(), 2u);
+  q.PopNext(nullptr)();
+  EXPECT_EQ(q.TotalScheduled(), 2u);  // lifetime counter, not a queue size
+  EXPECT_EQ(q.HeapSize(), 1u);
 }
 
 // --- Simulator --------------------------------------------------------------------
@@ -304,6 +420,29 @@ TEST(Packet, CopyPreservesMetaAndBytes) {
   Packet b = a;
   EXPECT_EQ(b.meta().flow_id, 42u);
   EXPECT_EQ(b.bytes()[1], 6);
+}
+
+// --- FlatHash64 -------------------------------------------------------------------
+
+TEST(FlatHash64, InsertFindOverwriteAndGrowth) {
+  FlatHash64<double> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(42), nullptr);
+  // Link-id shaped keys: (tx << 32) | rx, enough of them to force rehashes.
+  auto key = [](uint64_t i) { return (i << 32) | (i + 1); };
+  for (uint64_t i = 0; i < 1000; ++i) {
+    map.InsertOrAssign(key(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(map.size(), 1000u);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const double* v = map.Find(key(i));
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_DOUBLE_EQ(*v, static_cast<double>(i));
+  }
+  EXPECT_EQ(map.Find(key(1000)), nullptr);
+  map.InsertOrAssign(key(5), -1.0);
+  EXPECT_EQ(map.size(), 1000u);  // overwrite, not a second insert
+  EXPECT_DOUBLE_EQ(*map.Find(key(5)), -1.0);
 }
 
 // --- MacAddress -------------------------------------------------------------------

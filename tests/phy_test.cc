@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <memory>
+#include <vector>
 
 #include "core/simulator.h"
 #include "core/units.h"
@@ -505,6 +506,86 @@ TEST(WifiPhy, ChannelNumberIsolation) {
   f.sim.Schedule(Time::Zero(), [&] { f.a.StartTx(p, BaseModeFor(PhyStandard::k80211b)); });
   f.sim.Run();
   EXPECT_EQ(received, 0);
+}
+
+// --- Channel link cache --------------------------------------------------------
+
+TEST(LinkCache, StaticLinkCachedAndTeleportInvalidates) {
+  PhyFixture f;
+  std::vector<double> rssi;
+  f.b.SetReceiveCallback([&](Packet, const RxInfo& info) { rssi.push_back(info.rssi_dbm); });
+  Packet p(100);
+  auto tx = [&] { f.a.StartTx(p, BaseModeFor(PhyStandard::k80211b)); };
+  f.sim.Schedule(Time::Millis(0), tx);
+  f.sim.Schedule(Time::Millis(5), tx);   // second send: cache hit
+  f.sim.Schedule(Time::Millis(10), [&] {
+    // Teleport the receiver mid-campaign: its position epoch bumps, so the
+    // cached row must go stale without any explicit invalidation call.
+    f.pos_b.SetPosition({100, 0, 0});
+    tx();
+  });
+  f.sim.Schedule(Time::Millis(15), tx);  // re-cached at the new position
+  f.sim.Run();
+
+  ASSERT_EQ(rssi.size(), 4u);
+  EXPECT_DOUBLE_EQ(rssi[0], rssi[1]);  // memoized value is bit-exact
+  // Log-distance n=3: moving 10 m -> 100 m adds 30 dB of path loss.
+  EXPECT_NEAR(rssi[0] - rssi[2], 30.0, 0.1);
+  EXPECT_DOUBLE_EQ(rssi[2], rssi[3]);
+  EXPECT_EQ(f.channel.cache_stats().hits, 2u);    // sends 2 and 4
+  EXPECT_EQ(f.channel.cache_stats().misses, 2u);  // sends 1 and 3
+}
+
+TEST(LinkCache, LossModelMutationInvalidatesAutomatically) {
+  Simulator sim;
+  auto loss = std::make_unique<MatrixLossModel>(200.0);
+  MatrixLossModel* matrix = loss.get();
+  matrix->SetLoss(0, 1, 60.0);
+  Channel channel{&sim, std::move(loss), Rng(1)};
+  ConstantPositionMobility pa{{0, 0, 0}};
+  ConstantPositionMobility pb{{5, 0, 0}};
+  WifiPhy a{&sim, {}, Rng(2)};
+  WifiPhy b{&sim, {}, Rng(3)};
+  a.AttachChannel(&channel, 0, &pa);
+  b.AttachChannel(&channel, 1, &pb);
+  std::vector<double> rssi;
+  b.SetReceiveCallback([&](Packet, const RxInfo& info) { rssi.push_back(info.rssi_dbm); });
+  Packet p(100);
+  sim.Schedule(Time::Millis(0), [&] { a.StartTx(p, BaseModeFor(PhyStandard::k80211b)); });
+  sim.Schedule(Time::Millis(5), [&] {
+    // Both endpoints are static, so only the loss model's mutation epoch
+    // can (and must) invalidate the cached row — no explicit call needed.
+    matrix->SetLoss(0, 1, 80.0);
+    a.StartTx(p, BaseModeFor(PhyStandard::k80211b));
+  });
+  sim.Run();
+  ASSERT_EQ(rssi.size(), 2u);
+  EXPECT_NEAR(rssi[0], 16.0 - 60.0, 1e-9);
+  EXPECT_NEAR(rssi[1], 16.0 - 80.0, 1e-9);
+}
+
+TEST(LinkCache, MovingReceiverBypassesCache) {
+  Simulator sim;
+  Channel channel{&sim, std::make_unique<LogDistanceLossModel>(3.0), Rng(1)};
+  ConstantPositionMobility pos_a{{0, 0, 0}};
+  ConstantVelocityMobility pos_b{{10, 0, 0}, {100, 0, 0}};  // 100 m/s away
+  WifiPhy a{&sim, {}, Rng(2)};
+  WifiPhy b{&sim, {}, Rng(3)};
+  a.AttachChannel(&channel, 0, &pos_a);
+  b.AttachChannel(&channel, 1, &pos_b);
+  std::vector<double> rssi;
+  b.SetReceiveCallback([&](Packet, const RxInfo& info) { rssi.push_back(info.rssi_dbm); });
+  Packet p(100);
+  auto tx = [&] { a.StartTx(p, BaseModeFor(PhyStandard::k80211b)); };
+  sim.Schedule(Time::Millis(0), tx);
+  sim.Schedule(Time::Millis(100), tx);  // receiver has moved 10 m -> 20 m
+  sim.Run();
+
+  ASSERT_EQ(rssi.size(), 2u);
+  EXPECT_EQ(channel.cache_stats().hits, 0u);  // moving endpoint: never cached
+  EXPECT_EQ(channel.cache_stats().misses, 2u);
+  // Doubling the distance under n=3 costs 30 log10(2) ~ 9 dB.
+  EXPECT_NEAR(rssi[0] - rssi[1], 9.03, 0.2);
 }
 
 }  // namespace

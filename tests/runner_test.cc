@@ -144,6 +144,44 @@ TEST(ResultSinkTest, AggregateMeanStddevCi) {
   EXPECT_DOUBLE_EQ(a.max, 5.0);
 }
 
+TEST(ResultSinkTest, ExactQuantileMath) {
+  EXPECT_DOUBLE_EQ(ExactQuantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile({7.0}, 1.0), 7.0);
+  // Input need not be sorted.
+  EXPECT_DOUBLE_EQ(ExactQuantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+  // Linear interpolation between order statistics (type 7): even count.
+  EXPECT_DOUBLE_EQ(ExactQuantile({4.0, 3.0, 2.0, 1.0}, 0.5), 2.5);
+  // 1..5 at q=0.95: rank h = 3.8, so 4 + 0.8 * (5 - 4) = 4.8.
+  EXPECT_DOUBLE_EQ(ExactQuantile({1.0, 2.0, 3.0, 4.0, 5.0}, 0.95), 4.8);
+  // Out-of-range q clamps to the extremes.
+  EXPECT_DOUBLE_EQ(ExactQuantile({1.0, 2.0}, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile({1.0, 2.0}, 2.0), 2.0);
+}
+
+TEST(ResultSinkTest, AggregateQuantiles) {
+  ResultSink sink(5);
+  for (size_t i = 0; i < 5; ++i) {
+    ReplicationResult r;
+    r.metrics["x"] = static_cast<double>(5 - i);  // stored unsorted: 5..1
+    sink.Store(i, r);
+  }
+  const auto aggregates = sink.Aggregate();
+  ASSERT_EQ(aggregates.size(), 1u);
+  EXPECT_DOUBLE_EQ(aggregates[0].p50, 3.0);
+  EXPECT_DOUBLE_EQ(aggregates[0].p95, 4.8);
+}
+
+TEST(ResultSinkTest, CsvHeadersAreStable) {
+  // Downstream tooling keys on these exact headers; change them only
+  // together with every CSV consumer (CI artifacts, figure scripts).
+  EXPECT_EQ(ResultSink::AggregatesToCsv({}),
+            "metric,count,mean,stddev,ci95_half,min,max,p50,p95\n");
+  EXPECT_EQ(ResultSink::SweepLongCsv({"a", "b"}, {}),
+            "a,b,metric,count,mean,stddev,ci95_half,min,max,p50,p95\n");
+}
+
 TEST(ResultSinkTest, SingleReplicationHasZeroCi) {
   ResultSink sink(1);
   ReplicationResult r;
