@@ -87,11 +87,7 @@ void WifiPhy::SetSleep(bool sleep) {
       return;
     }
     if (current_rx_.has_value()) {
-      current_rx_->end_event.Cancel();
-      current_rx_.reset();
-      if (listener_ != nullptr) {
-        listener_->NotifyRxEnd(false);
-      }
+      AbortReception();
     }
     cca_end_event_.Cancel();
     SetState(State::kSleep);
@@ -110,11 +106,7 @@ void WifiPhy::StartTx(Packet packet, const WifiMode& mode) {
   if (state_ == State::kRx && current_rx_.has_value()) {
     // Transmit overrides reception (the MAC should avoid this; control
     // responses are exempt from CCA by design, e.g. ACK after SIFS).
-    current_rx_->end_event.Cancel();
-    current_rx_.reset();
-    if (listener_ != nullptr) {
-      listener_->NotifyRxEnd(false);
-    }
+    AbortReception();
   }
   cca_end_event_.Cancel();
 
@@ -155,12 +147,9 @@ void WifiPhy::StartRx(Packet packet, const WifiMode& mode, bool short_preamble,
                       double rx_power_dbm, bool decodable) {
   const Time now = sim_->Now();
   const Time duration = FrameDuration(mode, packet.size(), short_preamble);
+  // The tracker expires ended signals itself (AddSignal triggers the
+  // legacy-compatible purge); no periodic Cleanup call needed here.
   const uint64_t signal_id = interference_.AddSignal(now, now + duration, DbmToW(rx_power_dbm));
-
-  // Periodic pruning of expired interference records.
-  if (interference_.ActiveSignalCount() > 64) {
-    interference_.Cleanup(now);
-  }
 
   if (!decodable || !CanDecode(mode)) {
     ReevaluateCca();  // energy-only: may hold CCA busy, never locks rx
@@ -183,11 +172,7 @@ void WifiPhy::StartRx(Packet packet, const WifiMode& mode, bool short_preamble,
           RatioToDb(newcomer_sinr) >= config_.capture_margin_db) {
         // Capture: drop the current frame, lock onto the stronger one.
         ++counters_.rx_captured;
-        current_rx_->end_event.Cancel();
-        current_rx_.reset();
-        if (listener_ != nullptr) {
-          listener_->NotifyRxEnd(false);
-        }
+        AbortReception();
         BeginReception(std::move(packet), mode, short_preamble, rx_power_dbm, signal_id);
       } else {
         ++counters_.rx_dropped_busy;  // contributes interference only
@@ -221,11 +206,24 @@ void WifiPhy::BeginReception(Packet packet, const WifiMode& mode, bool short_pre
   rx.end = now + duration;
   rx.rx_power_dbm = rx_power_dbm;
   current_rx_ = std::move(rx);
+  // Guard the reception's own signal record against tracker expiry for the
+  // duration of the reception (EndReception still needs its power).
+  interference_.PinSignal(signal_id);
   SetState(State::kRx);
   if (listener_ != nullptr) {
     listener_->NotifyRxStart(duration);
   }
   current_rx_->end_event = sim_->Schedule(duration, [this] { EndReception(); });
+}
+
+void WifiPhy::AbortReception() {
+  assert(current_rx_.has_value());
+  current_rx_->end_event.Cancel();
+  current_rx_.reset();
+  interference_.UnpinSignal();
+  if (listener_ != nullptr) {
+    listener_->NotifyRxEnd(false);
+  }
 }
 
 void WifiPhy::EndReception() {
@@ -245,12 +243,16 @@ void WifiPhy::EndReception() {
   plan.payload_bits = rx.mode.IsOfdm() ? 16 + 8 * rx.packet.size() + 6 : 8 * rx.packet.size();
   plan.noise_w = noise_w_;
 
-  const double p_success = interference_.SuccessProbability(plan, error_model_);
-  const bool ok = rng_.Chance(p_success);
+  // One shared chunk sweep yields both the success probability and the
+  // payload-average SINR (bit-identical to evaluating them separately).
+  const InterferenceTracker::ReceptionStats rx_stats =
+      interference_.EvaluateReception(plan, error_model_);
+  interference_.UnpinSignal();
+  const bool ok = rng_.Chance(rx_stats.success_probability);
 
   RxInfo info;
   info.rssi_dbm = rx.rx_power_dbm;
-  info.sinr = interference_.MeanSinr(plan);
+  info.sinr = rx_stats.mean_sinr;
   info.mode = rx.mode;
   info.success = ok;
 
@@ -299,11 +301,7 @@ void WifiPhy::SetChannelNumber(uint8_t number) {
     return;
   }
   if (current_rx_.has_value()) {
-    current_rx_->end_event.Cancel();
-    current_rx_.reset();
-    if (listener_ != nullptr) {
-      listener_->NotifyRxEnd(false);
-    }
+    AbortReception();
     SetState(State::kIdle);
   }
   cca_end_event_.Cancel();

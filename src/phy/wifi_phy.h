@@ -119,6 +119,11 @@ class WifiPhy {
   };
   const Counters& counters() const { return counters_; }
 
+  // Interference-tracker work counters (signals scanned, chunks computed,
+  // cleanup drops, timeline merges) — the cache_stats() analogue for the
+  // SINR chunking hot path.
+  const InterferenceTracker::Stats& interference_stats() const { return interference_.stats(); }
+
   // Radio power draw per state, watts. Defaults are the classic Feeney &
   // Nilsson WaveLAN measurements (2001).
   struct PowerProfile {
@@ -164,6 +169,9 @@ class WifiPhy {
 
   void BeginReception(Packet packet, const WifiMode& mode, bool short_preamble,
                       double rx_power_dbm, uint64_t signal_id);
+  // Cancels the in-flight reception (sleep, retune, transmit override or
+  // capture): unpins its signal and notifies the listener of the failure.
+  void AbortReception();
   void EndReception();
   void EndTx();
   void ReevaluateCca();

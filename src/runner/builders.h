@@ -105,6 +105,25 @@ struct LinkParams {
 };
 RunResult RunLinkScenario(const LinkParams& p);
 
+// Dense co-channel multi-BSS deployment: `n_bss` infrastructure BSSs on a
+// square grid (`bss_spacing` metres apart, all on channel 1), each with
+// `stas_per_bss` saturated uplink stations on a circle of `sta_radius`
+// around their AP. Every BSS hears its neighbours, so the per-receiver
+// interference tracker sees tens of concurrent signals — the workload the
+// sweep-line SINR chunking exists for. Returns aggregates over all flows.
+struct DenseMultiBssParams {
+  PhyStandard standard = PhyStandard::k80211b;
+  size_t n_bss = 3;
+  size_t stas_per_bss = 4;
+  double bss_spacing = 25.0;
+  double sta_radius = 8.0;
+  size_t payload = 1000;
+  Time sim_time = Time::Seconds(4);
+  Time warmup = Time::Seconds(1);
+  uint64_t seed = 1;
+};
+RunResult RunDenseMultiBssScenario(const DenseMultiBssParams& p);
+
 // A saturated 12 m link sharing the band with a microwave oven at
 // `oven_distance` m from the receiver (0 = no oven). 802.11a moves to
 // channel 36 and is immune by construction.

@@ -11,32 +11,32 @@
 
 namespace wlansim {
 
-CampaignResult Campaign::Run(const CampaignOptions& options) const {
-  const uint64_t reps = options.replications;
-  unsigned jobs = options.jobs != 0 ? options.jobs : std::thread::hardware_concurrency();
-  if (jobs == 0) {
-    jobs = 1;
+void RunTaskPool(unsigned jobs, uint64_t total, const std::function<void(uint64_t)>& task) {
+  if (total == 0) {
+    return;
   }
-  if (reps < jobs) {
-    jobs = static_cast<unsigned>(reps > 0 ? reps : 1);
+  if (jobs == 0) {
+    jobs = std::thread::hardware_concurrency();
+    if (jobs == 0) {
+      jobs = 1;
+    }
+  }
+  if (total < jobs) {
+    jobs = static_cast<unsigned>(total);
   }
 
-  ResultSink sink(reps);
   std::atomic<uint64_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mu;
 
   auto worker = [&]() {
-    for (uint64_t i = next.fetch_add(1); i < reps; i = next.fetch_add(1)) {
+    for (uint64_t i = next.fetch_add(1); i < total; i = next.fetch_add(1)) {
       if (failed.load(std::memory_order_relaxed)) {
-        return;  // a replication already threw; don't burn the remaining reps
+        return;  // a task already threw; don't burn the remaining work
       }
       try {
-        ReplicationContext ctx;
-        ctx.replication = i;
-        ctx.seed = SubstreamSeed(options.base_seed, scenario_.name(), i);
-        sink.Store(i, scenario_.Run(options.params, ctx));
+        task(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) {
@@ -62,6 +62,18 @@ CampaignResult Campaign::Run(const CampaignOptions& options) const {
   if (first_error) {
     std::rethrow_exception(first_error);
   }
+}
+
+CampaignResult Campaign::Run(const CampaignOptions& options) const {
+  const uint64_t reps = options.replications;
+  ResultSink sink(reps);
+
+  RunTaskPool(options.jobs, reps, [&](uint64_t i) {
+    ReplicationContext ctx;
+    ctx.replication = i;
+    ctx.seed = SubstreamSeed(options.base_seed, scenario_.name(), i);
+    sink.Store(i, scenario_.Run(options.params, ctx));
+  });
 
   CampaignResult result;
   result.scenario = std::string(scenario_.name());

@@ -7,6 +7,7 @@
 #define WLANSIM_RUNNER_CAMPAIGN_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,15 @@ struct CampaignResult {
   std::vector<ReplicationResult> replications;  // indexed by replication number
   std::vector<MetricAggregate> aggregates;      // ordered by metric name
 };
+
+// Runs `total` independent tasks (task(0) .. task(total-1)) on a pool of
+// `jobs` worker threads (0 = hardware concurrency; the pool is clamped to
+// `total` so no idle threads spin up). Tasks are claimed from one shared
+// atomic counter, so any task can run on any thread — results must not
+// depend on the assignment. If a task throws, remaining unclaimed tasks are
+// skipped and the first exception is rethrown on the calling thread. Shared
+// by Campaign (replications) and RunSweepCampaign ((point, rep) pairs).
+void RunTaskPool(unsigned jobs, uint64_t total, const std::function<void(uint64_t)>& task);
 
 class Campaign {
  public:

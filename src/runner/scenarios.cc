@@ -154,6 +154,31 @@ void RegisterRateVsDistance(ScenarioRegistry& r) {
       });
 }
 
+void RegisterDenseMultiBss(ScenarioRegistry& r) {
+  r.Register(
+      "dense_multi_bss",
+      "Dense co-channel multi-BSS grid: n APs with m saturated uplink stations each",
+      {{"standard", "11b", "PHY standard: 11/11b/11a/11g"},
+       {"n_bss", "3", "number of co-channel BSSs on a square grid"},
+       {"stas_per_bss", "4", "saturated stations per BSS"},
+       {"bss_spacing", "25", "AP grid spacing in metres"},
+       {"sta_radius", "8", "station-AP distance in metres"},
+       {"payload", "1000", "MSDU payload bytes"},
+       {"sim_time_s", "4", "measured simulation seconds (after 1 s warmup)"}},
+      [](const ScenarioParams& params, const ReplicationContext& ctx) {
+        DenseMultiBssParams p;
+        p.standard = ParseStandard(params.GetString("standard", "11b"));
+        p.n_bss = static_cast<size_t>(params.GetUint("n_bss", 3));
+        p.stas_per_bss = static_cast<size_t>(params.GetUint("stas_per_bss", 4));
+        p.bss_spacing = params.GetDouble("bss_spacing", 25.0);
+        p.sta_radius = params.GetDouble("sta_radius", 8.0);
+        p.payload = static_cast<size_t>(params.GetUint("payload", 1000));
+        p.sim_time = Time::Seconds(params.GetDouble("sim_time_s", 4.0));
+        p.seed = ctx.seed;
+        return FromRunResult(RunDenseMultiBssScenario(p));
+      });
+}
+
 void RegisterIsmInterference(ScenarioRegistry& r) {
   r.Register(
       "ism_interference",
@@ -271,6 +296,7 @@ void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
   RegisterSaturation(registry);
   RegisterHiddenTerminal(registry);
   RegisterEdca(registry);
+  RegisterDenseMultiBss(registry);
   RegisterRateVsDistance(registry);
   RegisterIsmInterference(registry);
   RegisterAdhocVsInfra(registry);

@@ -1,7 +1,9 @@
 #include "runner/sweep.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
 
 #include "core/random.h"
@@ -190,6 +192,7 @@ SweepResult RunSweepCampaign(const SweepOptions& options) {
 
   // Validate the whole grid's keys up front (all points share them), so an
   // unknown parameter fails fast even when this shard's slice is empty.
+  const Scenario* scenario_ptr = ScenarioRegistry::Global().Find(options.scenario);
   {
     CampaignOptions probe;
     probe.scenario = options.scenario;
@@ -197,14 +200,14 @@ SweepResult RunSweepCampaign(const SweepOptions& options) {
     for (const auto& [key, value] : options.grid.Point(0)) {
       probe.params.Set(key, value);
     }
-    const Scenario* scenario = ScenarioRegistry::Global().Find(options.scenario);
-    if (scenario == nullptr) {
-      // Reuse RunCampaign's unknown-scenario message (lists what exists).
+    if (scenario_ptr == nullptr) {
+      // Reuse RunCampaign's unknown-scenario message (lists what exists);
+      // zero replications so the throw is the only effect.
       probe.replications = 0;
       RunCampaign(probe);
-    } else {
-      scenario->ValidateParams(probe.params);
+      throw std::invalid_argument("unknown scenario '" + options.scenario + "'");  // unreachable
     }
+    scenario_ptr->ValidateParams(probe.params);
   }
 
   SweepResult result;
@@ -212,26 +215,48 @@ SweepResult RunSweepCampaign(const SweepOptions& options) {
   result.base_seed = options.base_seed;
   result.replications = options.replications;
   result.param_keys = options.grid.Keys();
-  result.points.reserve(end - begin);
 
-  for (size_t i = begin; i < end; ++i) {
-    SweepPointResult point_result;
-    point_result.point_index = i;
-    point_result.point = options.grid.Point(i);
+  // One global (point, rep) work queue: with per-point parallelism alone,
+  // reps < jobs leaves workers idle at every grid point; flattening the
+  // whole shard's task space keeps the pool saturated. Replication seeds
+  // stay keyed by (point assignment, rep), never by which thread or in what
+  // order a task runs, so the CSV is byte-identical for any --jobs value.
+  const size_t n_points = end - begin;
+  const uint64_t reps = options.replications;
+  const Scenario& scenario = *scenario_ptr;
 
-    CampaignOptions campaign;
-    campaign.scenario = options.scenario;
-    campaign.params = options.base_params;
+  std::vector<ScenarioParams> point_params(n_points);
+  std::vector<uint64_t> point_seeds(n_points);
+  std::vector<std::unique_ptr<ResultSink>> sinks(n_points);
+  // Replications completed per point: the worker that finishes a point's
+  // last rep aggregates it and frees its raw rows, so peak memory stays
+  // O(reps) per in-flight point instead of O(points x reps) per shard.
+  std::vector<std::atomic<uint64_t>> completed(n_points);
+  result.points.resize(n_points);
+  for (size_t p = 0; p < n_points; ++p) {
+    SweepPointResult& point_result = result.points[p];
+    point_result.point_index = begin + p;
+    point_result.point = options.grid.Point(begin + p);
+    point_params[p] = options.base_params;
     for (const auto& [key, value] : point_result.point) {
-      campaign.params.Set(key, value);
+      point_params[p].Set(key, value);
     }
-    campaign.base_seed = SweepPointSeed(options.base_seed, point_result.point);
-    campaign.replications = options.replications;
-    campaign.jobs = options.jobs;
-
-    point_result.aggregates = RunCampaign(campaign).aggregates;
-    result.points.push_back(std::move(point_result));
+    point_seeds[p] = SweepPointSeed(options.base_seed, point_result.point);
+    sinks[p] = std::make_unique<ResultSink>(reps);
   }
+
+  RunTaskPool(options.jobs, static_cast<uint64_t>(n_points) * reps, [&](uint64_t task) {
+    const size_t p = static_cast<size_t>(task / reps);
+    const uint64_t rep = task % reps;
+    ReplicationContext ctx;
+    ctx.replication = rep;
+    ctx.seed = SubstreamSeed(point_seeds[p], scenario.name(), rep);
+    sinks[p]->Store(rep, scenario.Run(point_params[p], ctx));
+    if (completed[p].fetch_add(1, std::memory_order_acq_rel) + 1 == reps) {
+      result.points[p].aggregates = sinks[p]->Aggregate();
+      sinks[p].reset();
+    }
+  });
   return result;
 }
 

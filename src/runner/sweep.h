@@ -1,9 +1,12 @@
 // Parameter-sweep campaigns: expand a cartesian grid of scenario parameters,
-// run a replication batch per grid point through the Campaign thread pool,
-// and aggregate everything into one long-format table. Replication seeds are
-// derived from the *parameter assignment* of each point (not its grid index
-// or shard), so results are byte-identical for any --jobs value, any
-// --shard=i/n split, and even any axis ordering.
+// feed every (grid point, replication) pair of this shard through one global
+// worker pool, and aggregate everything into one long-format table. The
+// flattened task queue keeps the pool saturated even when replications <
+// jobs (per-point batching would idle the spare workers at every point).
+// Replication seeds are derived from the *parameter assignment* of each
+// point (not its grid index, shard, or worker), so results are
+// byte-identical for any --jobs value, any --shard=i/n split, and even any
+// axis ordering.
 
 #ifndef WLANSIM_RUNNER_SWEEP_H_
 #define WLANSIM_RUNNER_SWEEP_H_
@@ -74,7 +77,8 @@ struct SweepOptions {
   SweepGrid grid;
   uint64_t base_seed = 1;
   uint64_t replications = 1;
-  // Worker threads per grid point (same meaning as CampaignOptions::jobs).
+  // Worker threads for the shard's whole (point, replication) task queue
+  // (0 = hardware concurrency, same meaning as CampaignOptions::jobs).
   unsigned jobs = 1;
   // This process runs the grid points in ShardRange(n, shard_index, shard_count).
   unsigned shard_index = 0;

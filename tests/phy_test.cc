@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <memory>
+#include <tuple>
 #include <vector>
 
 #include "core/simulator.h"
@@ -14,6 +15,7 @@
 #include "phy/error_model.h"
 #include "phy/fading.h"
 #include "phy/interference.h"
+#include "phy/interference_reference.h"
 #include "phy/mobility.h"
 #include "phy/propagation.h"
 #include "phy/wifi_mode.h"
@@ -357,6 +359,233 @@ TEST(Interference, CleanupDropsExpired) {
   tracker.AddSignal(Time::Micros(0), Time::Micros(1000), 1e-9);
   tracker.Cleanup(Time::Micros(500));
   EXPECT_EQ(tracker.ActiveSignalCount(), 1u);
+}
+
+TEST(Interference, EvaluateReceptionMatchesSeparateQueries) {
+  InterferenceTracker tracker;
+  DefaultErrorRateModel model;
+  const uint64_t id = tracker.AddSignal(Time::Zero(), Time::Micros(1000), DbmToW(-60));
+  tracker.AddSignal(Time::Micros(100), Time::Micros(400), DbmToW(-75));
+  tracker.AddSignal(Time::Micros(300), Time::Micros(900), DbmToW(-82));
+  InterferenceTracker::ReceptionPlan plan;
+  plan.signal_id = id;
+  plan.start = Time::Zero();
+  plan.payload_start = Time::Micros(192);
+  plan.end = Time::Micros(1000);
+  plan.header_mode = BaseModeFor(PhyStandard::k80211b);
+  plan.payload_mode = ModeAt(PhyStandard::k80211b, 11'000'000);
+  plan.header_bits = 48;
+  plan.payload_bits = 8000;
+  plan.noise_w = DbmToW(-94);
+  const auto stats = tracker.EvaluateReception(plan, model);
+  EXPECT_EQ(stats.success_probability, tracker.SuccessProbability(plan, model));
+  EXPECT_EQ(stats.mean_sinr, tracker.MeanSinr(plan));
+}
+
+TEST(Interference, AutoExpiryMatchesLegacyPurgeTrigger) {
+  // The tracker must reproduce the legacy caller-side policy exactly: prune
+  // only once MORE than 64 signals are stored, dropping everything that
+  // ended at or before the triggering arrival's start.
+  InterferenceTracker tracker;
+  for (int i = 0; i < 64; ++i) {
+    tracker.AddSignal(Time::Micros(i), Time::Micros(i + 1), 1e-9);
+  }
+  EXPECT_EQ(tracker.ActiveSignalCount(), 64u);  // at threshold: no purge yet
+  tracker.AddSignal(Time::Micros(1000), Time::Micros(1001), 1e-9);
+  EXPECT_EQ(tracker.ActiveSignalCount(), 1u);  // 65th add purged the 64 ended
+  EXPECT_EQ(tracker.stats().cleanup_drops, 64u);
+}
+
+TEST(Interference, PinnedSignalSurvivesExpiry) {
+  InterferenceTracker tracker;
+  const uint64_t pinned = tracker.AddSignal(Time::Micros(0), Time::Micros(10), 1e-9);
+  tracker.PinSignal(pinned);
+  for (int i = 0; i < 70; ++i) {
+    tracker.AddSignal(Time::Micros(20 + i), Time::Micros(21 + i), 1e-9);
+  }
+  // Every unpinned ended signal is gone; the pinned one must remain even
+  // though it ended long before the expiry horizon.
+  InterferenceTracker::ReceptionPlan plan;
+  plan.signal_id = pinned;
+  plan.start = Time::Micros(0);
+  plan.payload_start = Time::Micros(2);
+  plan.end = Time::Micros(10);
+  plan.header_mode = BaseModeFor(PhyStandard::k80211b);
+  plan.payload_mode = BaseModeFor(PhyStandard::k80211b);
+  plan.header_bits = 48;
+  plan.payload_bits = 80;
+  plan.noise_w = DbmToW(-94);
+  DefaultErrorRateModel model;
+  EXPECT_GT(tracker.SuccessProbability(plan, model), 0.0);
+  const size_t with_pinned = tracker.ActiveSignalCount();
+  tracker.UnpinSignal();
+  // An explicit Cleanup ignores the (now released) pin and drops it.
+  tracker.Cleanup(Time::Micros(10));
+  EXPECT_EQ(tracker.ActiveSignalCount(), with_pinned - 1);
+}
+
+TEST(Interference, TimeWhenPowerBelowContract) {
+  InterferenceTracker tracker;
+  ReferenceInterferenceTracker reference;
+  // No signals: already-below returns t.
+  EXPECT_EQ(tracker.TimeWhenPowerBelow(Time::Micros(5), 1e-12), Time::Micros(5));
+  tracker.AddSignal(Time::Micros(0), Time::Micros(100), 1e-9);
+  tracker.AddSignal(Time::Micros(50), Time::Micros(300), 2e-9);
+  reference.AddSignal(Time::Micros(0), Time::Micros(100), 1e-9);
+  reference.AddSignal(Time::Micros(50), Time::Micros(300), 2e-9);
+  // threshold <= 0: no instant qualifies; the documented contract is the
+  // first instant after every known signal has ended (signals are
+  // half-open, so that is the latest end) — on both implementations.
+  EXPECT_EQ(tracker.TimeWhenPowerBelow(Time::Micros(10), 0.0), Time::Micros(300));
+  EXPECT_EQ(reference.TimeWhenPowerBelow(Time::Micros(10), 0.0), Time::Micros(300));
+}
+
+TEST(Interference, StatsCountersAdvance) {
+  InterferenceTracker tracker;
+  DefaultErrorRateModel model;
+  const uint64_t id = tracker.AddSignal(Time::Zero(), Time::Micros(1000), DbmToW(-60));
+  tracker.AddSignal(Time::Micros(200), Time::Micros(600), DbmToW(-80));
+  tracker.TotalPowerW(Time::Micros(100));
+  EXPECT_GT(tracker.stats().signals_scanned, 0u);
+  InterferenceTracker::ReceptionPlan plan;
+  plan.signal_id = id;
+  plan.start = Time::Zero();
+  plan.payload_start = Time::Micros(192);
+  plan.end = Time::Micros(1000);
+  plan.header_mode = BaseModeFor(PhyStandard::k80211b);
+  plan.payload_mode = BaseModeFor(PhyStandard::k80211b);
+  plan.header_bits = 48;
+  plan.payload_bits = 8000;
+  plan.noise_w = DbmToW(-94);
+  tracker.SuccessProbability(plan, model);
+  // The fused sweep emits spans split at the interferer's start and end.
+  EXPECT_GE(tracker.stats().chunks_computed, 3u);
+  EXPECT_GE(tracker.stats().timeline_merges, 1u);
+}
+
+// --- Differential: sweep-line tracker vs the preserved reference ---------------
+
+// The sweep-line tracker must be bit-identical to the naive implementation
+// on every query: same chunk boundaries, same id-ordered power folds. All
+// comparisons below are EXACT double equality, not approximate.
+class InterferenceDifferential {
+ public:
+  explicit InterferenceDifferential(uint64_t seed) : rng_(seed) {}
+
+  // Adds the same signal to both trackers, mirroring the tracker's internal
+  // legacy purge onto the reference so both keep the identical live set.
+  uint64_t Add(Time start, Time end, double power_w) {
+    const uint64_t id = tracker_.AddSignal(start, end, power_w);
+    const uint64_t ref_id = reference_.AddSignal(start, end, power_w);
+    EXPECT_EQ(id, ref_id);
+    if (reference_.ActiveSignalCount() > 64) {
+      reference_.Cleanup(start);
+    }
+    EXPECT_EQ(tracker_.ActiveSignalCount(), reference_.ActiveSignalCount());
+    live_.push_back({id, start, end});
+    return id;
+  }
+
+  void CompareAt(Time t) {
+    EXPECT_EQ(tracker_.TotalPowerW(t), reference_.TotalPowerW(t)) << "t=" << t.ToString();
+    for (const double threshold : {1e-7, 1e-9, 5e-10, 1e-12, 0.0}) {
+      EXPECT_EQ(tracker_.TimeWhenPowerBelow(t, threshold),
+                reference_.TimeWhenPowerBelow(t, threshold))
+          << "t=" << t.ToString() << " thr=" << threshold;
+    }
+  }
+
+  void ComparePlan(const InterferenceTracker::ReceptionPlan& plan) {
+    EXPECT_EQ(tracker_.SuccessProbability(plan, model_),
+              reference_.SuccessProbability(plan, model_));
+    EXPECT_EQ(tracker_.MeanSinr(plan), reference_.MeanSinr(plan));
+    const auto stats = tracker_.EvaluateReception(plan, model_);
+    EXPECT_EQ(stats.success_probability, reference_.SuccessProbability(plan, model_));
+    EXPECT_EQ(stats.mean_sinr, reference_.MeanSinr(plan));
+  }
+
+  InterferenceTracker::ReceptionPlan PlanFor(uint64_t id, Time start, Time end,
+                                             Time payload_start) {
+    InterferenceTracker::ReceptionPlan plan;
+    plan.signal_id = id;
+    plan.start = start;
+    plan.payload_start = payload_start;
+    plan.end = end;
+    plan.header_mode = BaseModeFor(PhyStandard::k80211b);
+    plan.payload_mode = ModesFor(PhyStandard::k80211b).back();
+    plan.header_bits = 48;
+    plan.payload_bits = 8000;
+    plan.noise_w = DbmToW(-94);
+    return plan;
+  }
+
+  Rng& rng() { return rng_; }
+  const std::vector<std::tuple<uint64_t, Time, Time>>& live() const { return live_; }
+
+ private:
+  Rng rng_;
+  DefaultErrorRateModel model_;
+  InterferenceTracker tracker_;
+  ReferenceInterferenceTracker reference_;
+  std::vector<std::tuple<uint64_t, Time, Time>> live_;
+};
+
+TEST(InterferenceDifferentialTest, RandomSignalSetsMatchExactly) {
+  InterferenceDifferential diff(2024);
+  Rng& rng = diff.rng();
+  Time now = Time::Zero();
+  for (int step = 0; step < 300; ++step) {
+    now += Time::Micros(rng.UniformInt(0, 400));  // duplicate starts possible
+    const Time duration = Time::Micros(rng.UniformInt(0, 1500));  // zero-length possible
+    const uint64_t id = diff.Add(now, now + duration, DbmToW(rng.Uniform(-95.0, -45.0)));
+
+    if (step % 3 == 0) {
+      diff.CompareAt(now);
+      diff.CompareAt(now + Time::Micros(rng.UniformInt(0, 2000)));
+    }
+    if (step % 5 == 0 && !duration.IsZero()) {
+      // Reception plan over the just-added signal with a random header
+      // split (clamped into the window; sometimes degenerate).
+      const Time ps = now + Time::Micros(rng.UniformInt(0, duration.picos() / 1'000'000));
+      diff.ComparePlan(diff.PlanFor(id, now, now + duration, ps));
+    }
+    if (step % 7 == 0 && diff.live().size() > 3) {
+      // Re-evaluate an older signal still in both trackers: windows that
+      // span many later arrivals and expiries.
+      const auto& [old_id, old_start, old_end] =
+          diff.live()[diff.live().size() - 1 -
+                      static_cast<size_t>(rng.UniformInt(0, 2))];
+      if (old_end > now && old_end > old_start) {
+        diff.ComparePlan(diff.PlanFor(old_id, old_start, old_end,
+                                      old_start + (old_end - old_start) / 4));
+      }
+    }
+  }
+}
+
+TEST(InterferenceDifferentialTest, ChunkBoundaryEdgeCases) {
+  InterferenceDifferential diff(7);
+  const Time start = Time::Micros(0);
+  const Time ps = Time::Micros(192);
+  const Time end = Time::Micros(1000);
+  const uint64_t self = diff.Add(start, end, DbmToW(-60));
+  // A signal ending exactly at payload_start, one starting exactly there,
+  // duplicate change points (two equal signals), a signal abutting another
+  // (A.end == B.start), and a zero-length signal inside the payload.
+  diff.Add(Time::Micros(50), ps, DbmToW(-70));
+  diff.Add(ps, Time::Micros(400), DbmToW(-72));
+  diff.Add(Time::Micros(300), Time::Micros(500), DbmToW(-74));
+  diff.Add(Time::Micros(300), Time::Micros(500), DbmToW(-76));
+  diff.Add(Time::Micros(500), Time::Micros(700), DbmToW(-78));
+  diff.Add(Time::Micros(600), Time::Micros(600), DbmToW(-50));
+  diff.ComparePlan(diff.PlanFor(self, start, end, ps));
+  // Degenerate windows: empty header (ps == start) and empty payload
+  // (ps == end).
+  diff.ComparePlan(diff.PlanFor(self, start, end, start));
+  diff.ComparePlan(diff.PlanFor(self, start, end, end));
+  diff.CompareAt(Time::Micros(300));
+  diff.CompareAt(Time::Micros(600));
+  diff.CompareAt(Time::Micros(999));
 }
 
 // --- WifiPhy over a channel ---------------------------------------------------------

@@ -243,6 +243,19 @@ TEST(SweepCampaign, CsvIdenticalAcrossJobs) {
   EXPECT_EQ(serial, parallel);
 }
 
+TEST(SweepCampaign, CrossPointWorkQueueSaturatesAndStaysDeterministic) {
+  // One replication per point used to clamp the pool to a single worker;
+  // the global (point, rep) queue now spreads the 6 points across all 8
+  // workers — and the CSV must not change, because seeds are keyed by the
+  // parameter assignment, never by the executing worker.
+  SweepOptions serial_options = ProbeOptions(1, 0, 1);
+  serial_options.replications = 1;
+  SweepOptions pooled_options = ProbeOptions(8, 0, 1);
+  pooled_options.replications = 1;
+  EXPECT_EQ(SweepResultToCsv(RunSweepCampaign(serial_options)),
+            SweepResultToCsv(RunSweepCampaign(pooled_options)));
+}
+
 TEST(SweepCampaign, CsvIdenticalAcrossShardRecombination) {
   const std::string full = SweepResultToCsv(RunSweepCampaign(ProbeOptions(2, 0, 1)));
   for (unsigned count : {2u, 3u, 6u}) {
