@@ -46,8 +46,12 @@ struct PerfArgs {
   bool ok = true;
 };
 
-inline PerfArgs ParsePerfArgs(int argc, char** argv, const char* bench_name) {
+// `default_reps` seeds --reps for benches whose single repetition is already
+// expensive (whole-simulation benches like t1); the flag still overrides.
+inline PerfArgs ParsePerfArgs(int argc, char** argv, const char* bench_name,
+                              uint64_t default_reps = 5) {
   PerfArgs args;
+  args.reps = default_reps;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--reps=", 7) == 0) {

@@ -246,7 +246,7 @@ RunResult RunLinkScenario(const LinkParams& p) {
   return r;
 }
 
-RunResult RunDenseMultiBssScenario(const DenseMultiBssParams& p) {
+DenseMultiBssResult RunDenseMultiBssScenario(const DenseMultiBssParams& p) {
   Network net(Network::Params{.seed = p.seed});
   net.UseLogDistanceLoss(3.0);
 
@@ -291,7 +291,8 @@ RunResult RunDenseMultiBssScenario(const DenseMultiBssParams& p) {
   }
   net.Run(p.warmup + p.sim_time);
 
-  RunResult r;
+  DenseMultiBssResult result;
+  RunResult& r = result.run;
   r.goodput_mbps = net.flow_stats().GoodputMbps();
   r.loss_rate = net.flow_stats().LossRate();
   r.mean_delay_ms = MeanDelayMs(net.flow_stats());
@@ -302,7 +303,14 @@ RunResult RunDenseMultiBssScenario(const DenseMultiBssParams& p) {
       r.tx_attempts += sta->mac().counters().tx_data_attempts;
     }
   }
-  return r;
+  // Flow ids were assigned 1..N in station creation order, so per-flow
+  // goodput doubles as per-station goodput in that same order.
+  const uint32_t n_flows = flow_id;
+  result.per_sta_mbps.reserve(n_flows - 1);
+  for (uint32_t f = 1; f < n_flows; ++f) {
+    result.per_sta_mbps.push_back(net.flow_stats().GoodputMbps(f));
+  }
+  return result;
 }
 
 RunResult RunIsmInterferenceScenario(const IsmParams& p) {

@@ -122,7 +122,14 @@ struct DenseMultiBssParams {
   Time warmup = Time::Seconds(1);
   uint64_t seed = 1;
 };
-RunResult RunDenseMultiBssScenario(const DenseMultiBssParams& p);
+struct DenseMultiBssResult {
+  RunResult run;  // aggregates over all flows, as before
+  // Uplink goodput of every station, in station creation order (BSS by BSS,
+  // station by station). Means hide starvation in a dense co-channel grid;
+  // this is the raw material for the per-station fairness histogram.
+  std::vector<double> per_sta_mbps;
+};
+DenseMultiBssResult RunDenseMultiBssScenario(const DenseMultiBssParams& p);
 
 // A saturated 12 m link sharing the band with a microwave oven at
 // `oven_distance` m from the receiver (0 = no oven). 802.11a moves to

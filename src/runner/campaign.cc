@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "core/random.h"
+#include "runner/metric_recorder.h"
+#include "runner/result_consumer.h"
 #include "runner/scenario_registry.h"
 
 namespace wlansim {
@@ -66,20 +68,51 @@ void RunTaskPool(unsigned jobs, uint64_t total, const std::function<void(uint64_
 
 CampaignResult Campaign::Run(const CampaignOptions& options) const {
   const uint64_t reps = options.replications;
-  ResultSink sink(reps);
+
+  CampaignManifest manifest;
+  manifest.scenario = std::string(scenario_.name());
+  manifest.base_seed = options.base_seed;
+  manifest.replications = reps;
+
+  ResultPipeline pipeline(manifest);
+  // Exactly one built-in aggregation consumer rides the pipeline: the
+  // in-memory exact one (default — byte-identical output to the batch
+  // collector it replaced), or the online one (streaming — O(metrics)
+  // memory, approximate quantiles).
+  InMemoryConsumer memory;
+  OnlineAggregator online;
+  if (options.stream) {
+    pipeline.AddConsumer(&online);
+  } else {
+    pipeline.AddConsumer(&memory);
+  }
+  for (ResultConsumer* consumer : options.consumers) {
+    pipeline.AddConsumer(consumer);
+  }
+  pipeline.Begin();
 
   RunTaskPool(options.jobs, reps, [&](uint64_t i) {
     ReplicationContext ctx;
     ctx.replication = i;
     ctx.seed = SubstreamSeed(options.base_seed, scenario_.name(), i);
-    sink.Store(i, scenario_.Run(options.params, ctx));
+    MetricRecorder recorder;
+    ctx.recorder = &recorder;
+    const ReplicationResult returned = scenario_.Run(options.params, ctx);
+    pipeline.Deliver(recorder.Finish(i, returned));
   });
+  pipeline.End();
 
   CampaignResult result;
-  result.scenario = std::string(scenario_.name());
+  result.scenario = manifest.scenario;
   result.base_seed = options.base_seed;
-  result.aggregates = sink.Aggregate();
-  result.replications = sink.replications();
+  result.replication_count = reps;
+  result.streamed = options.stream;
+  if (options.stream) {
+    result.aggregates = online.Aggregates();
+  } else {
+    result.replications = memory.ToReplicationResults();
+    result.aggregates = ResultSink::AggregateReplications(result.replications);
+  }
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "runner/result_consumer.h"
 #include "runner/result_sink.h"
 #include "runner/scenario.h"
 
@@ -25,12 +26,27 @@ struct CampaignOptions {
   uint64_t replications = 1;
   // Worker threads; 0 = std::thread::hardware_concurrency().
   unsigned jobs = 1;
+  // Streaming mode: per-replication rows are not retained (CampaignResult::
+  // replications stays empty) and aggregates come from the online path —
+  // Welford summaries plus P-square p50/p95 in O(metrics) memory — so peak
+  // memory is independent of the replication count. Off by default: exact
+  // aggregation keeps the output byte-identical to the historical batch
+  // collector.
+  bool stream = false;
+  // Extra consumers fanned out by the result pipeline (not owned, must
+  // outlive Run). They see every ReplicationRecord in replication order, in
+  // both modes — this is how rows stream to disk while the campaign runs.
+  std::vector<ResultConsumer*> consumers;
 };
 
 struct CampaignResult {
   std::string scenario;
   uint64_t base_seed = 1;
-  std::vector<ReplicationResult> replications;  // indexed by replication number
+  uint64_t replication_count = 0;
+  // True when the campaign ran the online aggregation path: aggregates'
+  // p50/p95 are P-square estimates and must be labeled approximate.
+  bool streamed = false;
+  std::vector<ReplicationResult> replications;  // indexed by replication number; empty if streamed
   std::vector<MetricAggregate> aggregates;      // ordered by metric name
 };
 
@@ -51,6 +67,11 @@ class Campaign {
   // Replication i runs with seed SubstreamSeed(base_seed, scenario, i): the
   // assignment of replications to threads never affects any result.
   // Scenario exceptions are rethrown on the calling thread.
+  //
+  // Each replication records through its own MetricRecorder (ctx.recorder)
+  // and the resulting records flow through a ResultPipeline in replication
+  // order to options.consumers plus the built-in aggregation consumer
+  // (exact in-memory by default, online when options.stream is set).
   CampaignResult Run(const CampaignOptions& options) const;
 
  private:

@@ -17,16 +17,24 @@
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "runner/campaign.h"
+#include "runner/result_consumer.h"
 #include "runner/scenario_registry.h"
 #include "runner/sweep.h"
 #include "stats/table.h"
 
 namespace wlansim {
 namespace {
+
+// Replication count at which the CLI switches to the streaming pipeline on
+// its own: beyond this, buffering every row is the memory hazard the
+// streaming path exists to avoid. --stream forces it earlier, --no-stream
+// forces exact batch aggregation regardless of size.
+constexpr uint64_t kAutoStreamReplications = 10000;
 
 void PrintUsage() {
   std::printf(
@@ -48,10 +56,19 @@ void PrintUsage() {
       "  --csv=FILE          write the aggregate table as CSV (long format when\n"
       "                      sweeping: params...,metric,count,mean,stddev,...)\n"
       "  --json=FILE         write the aggregate table as JSON (no sweep mode)\n"
-      "  --reps-csv=FILE     write one CSV row per replication (no sweep mode)\n"
+      "  --reps-csv=FILE     write one CSV row per replication (no sweep mode);\n"
+      "                      in stream mode rows are appended as replications\n"
+      "                      complete instead of buffered\n"
+      "  --stream            stream results instead of buffering them: rows go\n"
+      "                      to --reps-csv as they complete and aggregates use\n"
+      "                      online Welford + P-square quantiles in O(metrics)\n"
+      "                      memory (columns become p50_approx/p95_approx).\n"
+      "                      Auto-enabled at >= %llu replications; --no-stream\n"
+      "                      forces exact batch aggregation back on\n"
       "  --list              list registered scenarios\n"
       "  --describe=NAME     show a scenario's parameters and defaults\n"
-      "  --quiet             suppress the stdout table\n");
+      "  --quiet             suppress the stdout table\n",
+      static_cast<unsigned long long>(kAutoStreamReplications));
 }
 
 int ListScenarios() {
@@ -126,6 +143,7 @@ int RunSweep(const CampaignOptions& base, const std::vector<std::string>& sweep_
   options.jobs = base.jobs;
   options.shard_index = shard_index;
   options.shard_count = shard_count;
+  options.stream = base.stream;
 
   SweepResult result;
   try {
@@ -145,10 +163,11 @@ int RunSweep(const CampaignOptions& base, const std::vector<std::string>& sweep_
                 shard_index, shard_count, static_cast<unsigned long long>(result.replications),
                 static_cast<unsigned long long>(result.base_seed));
     std::vector<std::string> header = result.param_keys;
-    for (const char* col :
-         {"metric", "count", "mean", "stddev", "ci95_half", "min", "max", "p50", "p95"}) {
+    for (const char* col : {"metric", "count", "mean", "stddev", "ci95_half", "min", "max"}) {
       header.emplace_back(col);
     }
+    header.emplace_back(result.streamed ? "p50_approx" : "p50");
+    header.emplace_back(result.streamed ? "p95_approx" : "p95");
     Table table(header);
     for (const SweepPointResult& point : result.points) {
       for (const MetricAggregate& a : point.aggregates) {
@@ -180,6 +199,8 @@ int Main(int argc, char** argv) {
   std::string json_path;
   std::string reps_csv_path;
   bool quiet = false;
+  bool stream = false;
+  bool no_stream = false;
 
   auto value_of = [](const char* arg, const char* flag) -> const char* {
     const size_t n = std::strlen(flag);
@@ -242,6 +263,10 @@ int Main(int argc, char** argv) {
       reps_csv_path = v;
     } else if (std::strcmp(arg, "--quiet") == 0) {
       quiet = true;
+    } else if (std::strcmp(arg, "--stream") == 0) {
+      stream = true;
+    } else if (std::strcmp(arg, "--no-stream") == 0) {
+      no_stream = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n\n", arg);
       PrintUsage();
@@ -260,6 +285,12 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "--reps must be at least 1\n");
     return 1;
   }
+  if (stream && no_stream) {
+    std::fprintf(stderr, "--stream and --no-stream are mutually exclusive\n");
+    return 1;
+  }
+  options.stream =
+      !no_stream && (stream || options.replications >= kAutoStreamReplications);
 
   unsigned shard_index = 0;
   unsigned shard_count = 1;
@@ -279,6 +310,21 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
+  // In stream mode the per-replication CSV is written by a pipeline
+  // consumer while the campaign runs, so rows hit the disk as replications
+  // complete and are never all in memory at once.
+  std::ofstream streamed_reps_out;
+  std::unique_ptr<StreamingCsvWriter> streamed_reps_writer;
+  if (options.stream && !reps_csv_path.empty()) {
+    streamed_reps_out.open(reps_csv_path, std::ios::binary);
+    if (!streamed_reps_out) {
+      std::fprintf(stderr, "cannot write %s\n", reps_csv_path.c_str());
+      return 1;
+    }
+    streamed_reps_writer = std::make_unique<StreamingCsvWriter>(streamed_reps_out);
+    options.consumers.push_back(streamed_reps_writer.get());
+  }
+
   CampaignResult result;
   try {
     result = RunCampaign(options);
@@ -287,12 +333,14 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
-  const std::string agg_csv = ResultSink::AggregatesToCsv(result.aggregates);
+  const std::string agg_csv = ResultSink::AggregatesToCsv(result.aggregates, result.streamed);
   if (!quiet) {
-    std::printf("=== %s: %llu replication(s), base seed %llu ===\n", result.scenario.c_str(),
-                static_cast<unsigned long long>(result.replications.size()),
-                static_cast<unsigned long long>(result.base_seed));
-    Table table({"metric", "count", "mean", "stddev", "ci95_half", "min", "max", "p50", "p95"});
+    std::printf("=== %s: %llu replication(s), base seed %llu%s ===\n", result.scenario.c_str(),
+                static_cast<unsigned long long>(result.replication_count),
+                static_cast<unsigned long long>(result.base_seed),
+                result.streamed ? ", streamed" : "");
+    Table table({"metric", "count", "mean", "stddev", "ci95_half", "min", "max",
+                 result.streamed ? "p50_approx" : "p50", result.streamed ? "p95_approx" : "p95"});
     for (const MetricAggregate& a : result.aggregates) {
       table.AddRow({a.metric, std::to_string(a.count), Table::Num(a.mean, 4),
                     Table::Num(a.stddev, 4), Table::Num(a.ci95_half, 4), Table::Num(a.min, 4),
@@ -304,12 +352,13 @@ int Main(int argc, char** argv) {
     return 1;
   }
   if (!json_path.empty() &&
-      !WriteFileOrComplain(json_path,
-                           ResultSink::AggregatesToJson(
-                               result.scenario, result.replications.size(), result.aggregates))) {
+      !WriteFileOrComplain(json_path, ResultSink::AggregatesToJson(result.scenario,
+                                                                   result.replication_count,
+                                                                   result.aggregates,
+                                                                   result.streamed))) {
     return 1;
   }
-  if (!reps_csv_path.empty() &&
+  if (!reps_csv_path.empty() && !result.streamed &&
       !WriteFileOrComplain(reps_csv_path, ResultSink::ReplicationsToCsv(result.replications))) {
     return 1;
   }

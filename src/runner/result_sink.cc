@@ -7,21 +7,32 @@
 #include <limits>
 #include <map>
 #include <set>
+#include <stdexcept>
 
 #include "stats/summary.h"
 
 namespace wlansim {
 namespace {
 
+// Local alias for the shared formatter; kept terse because every writer
+// line uses it.
+std::string Num(double v) { return CsvNum(v); }
+
+// The quantile column names under exact (sorted-sample) and approximate
+// (P-square) aggregation. Streamed campaigns must never present an estimate
+// as an exact percentile, so the approximate path renames the columns.
+const char* P50Label(bool approx) { return approx ? "p50_approx" : "p50"; }
+const char* P95Label(bool approx) { return approx ? "p95_approx" : "p95"; }
+
+}  // namespace
+
 // Fixed-width, locale-independent number formatting so identical campaigns
 // produce byte-identical files.
-std::string Num(double v) {
+std::string CsvNum(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
   return buf;
 }
-
-}  // namespace
 
 std::string CsvField(const std::string& field) {
   if (field.find_first_of(",\"\r\n") == std::string::npos) {
@@ -89,20 +100,34 @@ double ExactQuantile(std::vector<double> values, double q) {
   return QuantileSorted(values, q);
 }
 
-ResultSink::ResultSink(size_t replications) : replications_(replications) {}
+ResultSink::ResultSink(size_t replications)
+    : replications_(replications), stored_(replications, false) {}
 
 void ResultSink::Store(size_t replication, ReplicationResult result) {
   std::lock_guard<std::mutex> lock(mu_);
-  assert(replication < replications_.size());
+  if (replication >= replications_.size()) {
+    throw std::out_of_range("replication index " + std::to_string(replication) +
+                            " outside sink of " + std::to_string(replications_.size()));
+  }
+  if (stored_[replication]) {
+    throw std::logic_error("replication " + std::to_string(replication) +
+                           " stored twice (double-set replication index)");
+  }
+  stored_[replication] = true;
   replications_[replication] = std::move(result);
 }
 
 std::vector<MetricAggregate> ResultSink::Aggregate() const {
   std::lock_guard<std::mutex> lock(mu_);
+  return AggregateReplications(replications_);
+}
+
+std::vector<MetricAggregate> ResultSink::AggregateReplications(
+    const std::vector<ReplicationResult>& replications) {
   // The rows are all in memory, so quantiles are exact: collect each
   // metric's values alongside its running summary.
   std::map<std::string, std::pair<Summary, std::vector<double>>> by_metric;
-  for (const ReplicationResult& rep : replications_) {
+  for (const ReplicationResult& rep : replications) {
     for (const auto& [name, value] : rep.metrics) {
       auto& [summary, values] = by_metric[name];
       summary.Add(value);
@@ -159,8 +184,11 @@ std::string ResultSink::ReplicationsToCsv(const std::vector<ReplicationResult>& 
   return csv;
 }
 
-std::string ResultSink::AggregatesToCsv(const std::vector<MetricAggregate>& aggregates) {
-  std::string csv = "metric,count,mean,stddev,ci95_half,min,max,p50,p95\n";
+std::string ResultSink::AggregatesToCsv(const std::vector<MetricAggregate>& aggregates,
+                                        bool approx_quantiles) {
+  std::string csv = "metric,count,mean,stddev,ci95_half,min,max," +
+                    std::string(P50Label(approx_quantiles)) + "," +
+                    P95Label(approx_quantiles) + "\n";
   for (const MetricAggregate& a : aggregates) {
     csv += CsvField(a.metric) + "," + std::to_string(a.count) + "," + Num(a.mean) + "," +
            Num(a.stddev) + "," + Num(a.ci95_half) + "," + Num(a.min) + "," + Num(a.max) + "," +
@@ -170,12 +198,14 @@ std::string ResultSink::AggregatesToCsv(const std::vector<MetricAggregate>& aggr
 }
 
 std::string ResultSink::SweepLongCsv(const std::vector<std::string>& param_keys,
-                                     const std::vector<SweepRow>& rows) {
+                                     const std::vector<SweepRow>& rows,
+                                     bool approx_quantiles) {
   std::string csv;
   for (const std::string& key : param_keys) {
     csv += CsvField(key) + ",";
   }
-  csv += "metric,count,mean,stddev,ci95_half,min,max,p50,p95\n";
+  csv += "metric,count,mean,stddev,ci95_half,min,max," +
+         std::string(P50Label(approx_quantiles)) + "," + P95Label(approx_quantiles) + "\n";
   for (const SweepRow& row : rows) {
     assert(row.param_values.size() == param_keys.size());
     std::string prefix;
@@ -193,7 +223,8 @@ std::string ResultSink::SweepLongCsv(const std::vector<std::string>& param_keys,
 
 std::string ResultSink::AggregatesToJson(const std::string& scenario_name,
                                          uint64_t replications,
-                                         const std::vector<MetricAggregate>& aggregates) {
+                                         const std::vector<MetricAggregate>& aggregates,
+                                         bool approx_quantiles) {
   std::string json = "{\n  \"scenario\": \"" + scenario_name + "\",\n  \"replications\": " +
                      std::to_string(replications) + ",\n  \"metrics\": {";
   bool first = true;
@@ -203,8 +234,8 @@ std::string ResultSink::AggregatesToJson(const std::string& scenario_name,
     json += "    \"" + a.metric + "\": {\"count\": " + std::to_string(a.count) +
             ", \"mean\": " + Num(a.mean) + ", \"stddev\": " + Num(a.stddev) +
             ", \"ci95_half\": " + Num(a.ci95_half) + ", \"min\": " + Num(a.min) +
-            ", \"max\": " + Num(a.max) + ", \"p50\": " + Num(a.p50) +
-            ", \"p95\": " + Num(a.p95) + "}";
+            ", \"max\": " + Num(a.max) + ", \"" + P50Label(approx_quantiles) +
+            "\": " + Num(a.p50) + ", \"" + P95Label(approx_quantiles) + "\": " + Num(a.p95) + "}";
   }
   json += "\n  }\n}\n";
   return json;

@@ -44,6 +44,11 @@ double StudentT95(uint64_t df);
 // without corrupting rows.
 std::string CsvField(const std::string& field);
 
+// The fixed-width, locale-independent "%.9g" number format every CSV/JSON
+// writer uses — shared so the streaming row writer is byte-identical to the
+// batch one.
+std::string CsvNum(double v);
+
 // One row of a long-format sweep CSV: the swept parameter values (parallel
 // to the key list handed to SweepLongCsv) plus that point's aggregates.
 struct SweepRow {
@@ -51,13 +56,20 @@ struct SweepRow {
   std::vector<MetricAggregate> aggregates;
 };
 
+// Batch (buffer-everything) replication collector. The campaign runner now
+// streams results through ResultPipeline/ResultConsumer instead; ResultSink
+// remains the exact-aggregation building block for bounded collections (the
+// perf harness, tests) and the home of the shared CSV/JSON formatters.
 class ResultSink {
  public:
   // Sized upfront so workers can store results by replication index; the
   // aggregate therefore never depends on completion order.
   explicit ResultSink(size_t replications);
 
-  // Thread-safe; each index must be set exactly once.
+  // Thread-safe; each index must be set exactly once. Throws
+  // std::out_of_range for an index beyond the sized capacity and
+  // std::logic_error when the index was already stored — a double-set
+  // replication is a seeding/scheduling bug, not a row to overwrite.
   void Store(size_t replication, ReplicationResult result);
 
   const std::vector<ReplicationResult>& replications() const { return replications_; }
@@ -67,26 +79,40 @@ class ResultSink {
   // replications that do report them.
   std::vector<MetricAggregate> Aggregate() const;
 
+  // The exact aggregation underlying Aggregate(), over any row vector; the
+  // in-memory pipeline consumer shares it so batch and exact-streamed
+  // aggregates are the same numbers, hence the same bytes.
+  static std::vector<MetricAggregate> AggregateReplications(
+      const std::vector<ReplicationResult>& replications);
+
   // One CSV row per replication: replication,<metric columns sorted by name>.
   static std::string ReplicationsToCsv(const std::vector<ReplicationResult>& replications);
 
   // One CSV row per metric: metric,count,mean,stddev,ci95_half,min,max,p50,p95.
-  static std::string AggregatesToCsv(const std::vector<MetricAggregate>& aggregates);
+  // When `approx_quantiles` is set (online P-square aggregation), the
+  // quantile columns are labeled p50_approx/p95_approx so downstream tooling
+  // can never mistake an estimate for an exact sample quantile.
+  static std::string AggregatesToCsv(const std::vector<MetricAggregate>& aggregates,
+                                     bool approx_quantiles = false);
 
   // {"scenario": ..., "replications": N, "metrics": {name: {...}, ...}}
+  // Approximate quantiles are keyed p50_approx/p95_approx, as in the CSV.
   static std::string AggregatesToJson(const std::string& scenario_name, uint64_t replications,
-                                      const std::vector<MetricAggregate>& aggregates);
+                                      const std::vector<MetricAggregate>& aggregates,
+                                      bool approx_quantiles = false);
 
   // Long-format sweep CSV: header `<param_keys...>,metric,count,mean,stddev,
   // ci95_half,min,max,p50,p95`, then one row per (grid point, metric). Rows from a
   // shard slice concatenate under a single header into exactly the unsharded
-  // output.
+  // output. `approx_quantiles` relabels the quantile columns as above.
   static std::string SweepLongCsv(const std::vector<std::string>& param_keys,
-                                  const std::vector<SweepRow>& rows);
+                                  const std::vector<SweepRow>& rows,
+                                  bool approx_quantiles = false);
 
  private:
   mutable std::mutex mu_;
   std::vector<ReplicationResult> replications_;
+  std::vector<bool> stored_;
 };
 
 }  // namespace wlansim

@@ -44,12 +44,19 @@ struct ReplicationResult {
   std::map<std::string, double> metrics;
 };
 
+class MetricRecorder;
+
 // Per-replication context handed to Scenario::Run. The seed is derived via
 // Rng::Substream(base_seed, scenario_name, replication), so it does not
 // depend on which thread executes the replication.
 struct ReplicationContext {
   uint64_t seed = 1;
   uint64_t replication = 0;
+  // Richer-than-scalar metric channel (counters, gauge samples, histograms),
+  // owned by the campaign runner. Null when the caller only collects the
+  // Run() return value (direct builder/bench invocations), so scenarios must
+  // guard uses: `if (ctx.recorder != nullptr) ...`.
+  MetricRecorder* recorder = nullptr;
 };
 
 // One documented parameter of a scenario.

@@ -8,6 +8,8 @@
 
 #include "core/random.h"
 #include "runner/campaign.h"
+#include "runner/metric_recorder.h"
+#include "runner/result_consumer.h"
 #include "runner/scenario_registry.h"
 
 namespace wlansim {
@@ -216,6 +218,8 @@ SweepResult RunSweepCampaign(const SweepOptions& options) {
   result.replications = options.replications;
   result.param_keys = options.grid.Keys();
 
+  result.streamed = options.stream;
+
   // One global (point, rep) work queue: with per-point parallelism alone,
   // reps < jobs leaves workers idle at every grid point; flattening the
   // whole shard's task space keeps the pool saturated. Replication seeds
@@ -225,12 +229,21 @@ SweepResult RunSweepCampaign(const SweepOptions& options) {
   const uint64_t reps = options.replications;
   const Scenario& scenario = *scenario_ptr;
 
+  // Each grid point owns a result pipeline with one aggregation consumer:
+  // exact in-memory by default, online (O(metrics) memory) when streaming.
+  // The worker that finishes a point's last rep aggregates it and frees the
+  // collector, so exact-mode peak memory stays O(reps) per in-flight point
+  // — and streaming mode is O(metrics) per point outright.
+  struct PointCollector {
+    explicit PointCollector(CampaignManifest manifest) : pipeline(std::move(manifest)) {}
+    ResultPipeline pipeline;
+    InMemoryConsumer memory;
+    OnlineAggregator online;
+  };
+
   std::vector<ScenarioParams> point_params(n_points);
   std::vector<uint64_t> point_seeds(n_points);
-  std::vector<std::unique_ptr<ResultSink>> sinks(n_points);
-  // Replications completed per point: the worker that finishes a point's
-  // last rep aggregates it and frees its raw rows, so peak memory stays
-  // O(reps) per in-flight point instead of O(points x reps) per shard.
+  std::vector<std::unique_ptr<PointCollector>> collectors(n_points);
   std::vector<std::atomic<uint64_t>> completed(n_points);
   result.points.resize(n_points);
   for (size_t p = 0; p < n_points; ++p) {
@@ -242,7 +255,15 @@ SweepResult RunSweepCampaign(const SweepOptions& options) {
       point_params[p].Set(key, value);
     }
     point_seeds[p] = SweepPointSeed(options.base_seed, point_result.point);
-    sinks[p] = std::make_unique<ResultSink>(reps);
+    CampaignManifest manifest;
+    manifest.scenario = options.scenario;
+    manifest.base_seed = point_seeds[p];
+    manifest.replications = reps;
+    collectors[p] = std::make_unique<PointCollector>(std::move(manifest));
+    collectors[p]->pipeline.AddConsumer(options.stream
+                                            ? static_cast<ResultConsumer*>(&collectors[p]->online)
+                                            : &collectors[p]->memory);
+    collectors[p]->pipeline.Begin();
   }
 
   RunTaskPool(options.jobs, static_cast<uint64_t>(n_points) * reps, [&](uint64_t task) {
@@ -251,10 +272,18 @@ SweepResult RunSweepCampaign(const SweepOptions& options) {
     ReplicationContext ctx;
     ctx.replication = rep;
     ctx.seed = SubstreamSeed(point_seeds[p], scenario.name(), rep);
-    sinks[p]->Store(rep, scenario.Run(point_params[p], ctx));
+    MetricRecorder recorder;
+    ctx.recorder = &recorder;
+    const ReplicationResult returned = scenario.Run(point_params[p], ctx);
+    PointCollector& collector = *collectors[p];
+    collector.pipeline.Deliver(recorder.Finish(rep, returned));
     if (completed[p].fetch_add(1, std::memory_order_acq_rel) + 1 == reps) {
-      result.points[p].aggregates = sinks[p]->Aggregate();
-      sinks[p].reset();
+      collector.pipeline.End();
+      result.points[p].aggregates = options.stream
+                                        ? collector.online.Aggregates()
+                                        : ResultSink::AggregateReplications(
+                                              collector.memory.ToReplicationResults());
+      collectors[p].reset();
     }
   });
   return result;
@@ -272,7 +301,7 @@ std::string SweepResultToCsv(const SweepResult& result) {
     row.aggregates = point.aggregates;
     rows.push_back(std::move(row));
   }
-  return ResultSink::SweepLongCsv(result.param_keys, rows);
+  return ResultSink::SweepLongCsv(result.param_keys, rows, result.streamed);
 }
 
 }  // namespace wlansim

@@ -83,6 +83,13 @@ struct SweepOptions {
   // This process runs the grid points in ShardRange(n, shard_index, shard_count).
   unsigned shard_index = 0;
   unsigned shard_count = 1;
+  // Streaming mode: each grid point aggregates online (Welford + P-square
+  // quantiles) instead of buffering its replication rows, so per-point peak
+  // memory is O(metrics) however many replications run. The long CSV's
+  // quantile columns are then labeled p50_approx/p95_approx. Off by
+  // default: exact aggregation keeps sweep CSVs byte-identical to the batch
+  // collector.
+  bool stream = false;
 };
 
 // Aggregates for one grid point.
@@ -96,6 +103,7 @@ struct SweepResult {
   std::string scenario;
   uint64_t base_seed = 1;
   uint64_t replications = 1;
+  bool streamed = false;  // aggregates' p50/p95 are P-square estimates
   std::vector<std::string> param_keys;   // axis keys, axis order
   std::vector<SweepPointResult> points;  // this shard's slice, grid order
 };

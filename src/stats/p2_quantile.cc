@@ -1,0 +1,102 @@
+#include "stats/p2_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wlansim {
+
+P2Quantile::P2Quantile(double q) : q_(std::clamp(q, 0.0, 1.0)) {
+  desired_inc_[0] = 0.0;
+  desired_inc_[1] = q_ / 2.0;
+  desired_inc_[2] = q_;
+  desired_inc_[3] = (1.0 + q_) / 2.0;
+  desired_inc_[4] = 1.0;
+}
+
+void P2Quantile::Add(double x) {
+  if (count_ < 5) {
+    height_[count_] = x;
+    ++count_;
+    std::sort(height_, height_ + count_);
+    if (count_ == 5) {
+      for (int i = 0; i < 5; ++i) {
+        pos_[i] = static_cast<double>(i + 1);
+        // Desired marker i position after n observations is 1 + (n-1) *
+        // desired_inc_[i]; seeded here at n = 5.
+        desired_[i] = 1.0 + 4.0 * desired_inc_[i];
+      }
+    }
+    return;
+  }
+
+  // Locate the cell [height_[k], height_[k+1]) containing x, extending the
+  // extreme markers when x falls outside the current range.
+  int k;
+  if (x < height_[0]) {
+    height_[0] = x;
+    k = 0;
+  } else if (x >= height_[4]) {
+    height_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= height_[k + 1]) {
+      ++k;
+    }
+  }
+  for (int i = k + 1; i < 5; ++i) {
+    pos_[i] += 1.0;
+  }
+  for (int i = 0; i < 5; ++i) {
+    desired_[i] += desired_inc_[i];
+  }
+  ++count_;
+
+  // Nudge the three interior markers toward their desired positions, one
+  // step at a time, with the P-square parabolic predictor; fall back to
+  // linear interpolation when the parabola would leave (height_[i-1],
+  // height_[i+1]) — the adjustment must preserve marker monotonicity.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double sign = d >= 0 ? 1.0 : -1.0;
+      const double np = pos_[i + 1];
+      const double nm = pos_[i - 1];
+      const double n = pos_[i];
+      const double hp = height_[i + 1];
+      const double hm = height_[i - 1];
+      const double h = height_[i];
+      double candidate =
+          h + sign / (np - nm) *
+                  ((n - nm + sign) * (hp - h) / (np - n) + (np - n - sign) * (h - hm) / (n - nm));
+      if (candidate <= hm || candidate >= hp) {
+        // Linear step toward the neighbour in the direction of travel.
+        const int j = sign > 0 ? i + 1 : i - 1;
+        candidate = h + sign * (height_[j] - h) / (pos_[j] - n);
+      }
+      height_[i] = candidate;
+      pos_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::Value() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  if (count_ <= 5) {
+    // Exact type-7 interpolated quantile of the sorted prefix, matching
+    // ExactQuantile so small streams agree with batch aggregation.
+    const double h = static_cast<double>(count_ - 1) * q_;
+    const auto lo = static_cast<uint64_t>(h);
+    if (lo + 1 >= count_) {
+      return height_[count_ - 1];
+    }
+    const double frac = h - static_cast<double>(lo);
+    return height_[lo] + frac * (height_[lo + 1] - height_[lo]);
+  }
+  return height_[2];
+}
+
+}  // namespace wlansim

@@ -1,0 +1,44 @@
+// Streaming quantile estimation with the P-square algorithm (Jain &
+// Chlamtac, CACM 1985): five markers track the target quantile in O(1)
+// memory and O(1) time per observation, so campaign quantiles survive
+// result streaming where the sample itself is never materialized. The first
+// five observations are stored and the estimate is exact; from the sixth on
+// the markers are nudged with parabolic (falling back to linear)
+// interpolation.
+
+#ifndef WLANSIM_STATS_P2_QUANTILE_H_
+#define WLANSIM_STATS_P2_QUANTILE_H_
+
+#include <cstdint>
+
+namespace wlansim {
+
+class P2Quantile {
+ public:
+  // q in [0, 1]; e.g. 0.5 for the median, 0.95 for the 95th percentile.
+  explicit P2Quantile(double q);
+
+  void Add(double x);
+
+  // Current estimate. Exact (type-7 interpolated, matching ExactQuantile)
+  // while count() <= 5; the P-square marker estimate afterwards. 0 before
+  // any observation.
+  double Value() const;
+
+  uint64_t count() const { return count_; }
+  double quantile() const { return q_; }
+
+ private:
+  double q_;
+  uint64_t count_ = 0;
+  // Marker heights (estimated order statistics), actual integer positions,
+  // and desired (fractional) positions, in marker order.
+  double height_[5] = {};
+  double pos_[5] = {};
+  double desired_[5] = {};
+  double desired_inc_[5] = {};
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_STATS_P2_QUANTILE_H_
