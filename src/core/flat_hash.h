@@ -55,6 +55,18 @@ class FlatHash64 {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  // Drops every entry but keeps the slot array capacity, so a table that is
+  // cleared and refilled to a similar size never reallocates.
+  void Clear() {
+    if (size_ == 0) {
+      return;
+    }
+    for (Slot& slot : slots_) {
+      slot = Slot{};
+    }
+    size_ = 0;
+  }
+
  private:
   struct Slot {
     uint64_t key = 0;

@@ -35,6 +35,16 @@ void Network::UseNakagamiFading(double m) {
   pending_fading_ = std::make_unique<NakagamiFading>(m);
 }
 
+void Network::SetRxCutoffDbm(double dbm) {
+  EnsureChannel();
+  channel_->SetRxCutoffDbm(dbm);
+}
+
+void Network::EnableSpatialIndex(bool on) {
+  EnsureChannel();
+  channel_->EnableSpatialIndex(on);
+}
+
 void Network::EnsureChannel() {
   if (channel_ != nullptr) {
     return;

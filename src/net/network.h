@@ -44,6 +44,12 @@ class Network {
   void UseRayleighFading();
   void UseNakagamiFading(double m);
 
+  // Channel reception cutoff and spatial receiver index (see Channel).
+  // These create the channel on demand, so pick the loss/fading models
+  // first; after that they may be called at any point, even mid-run.
+  void SetRxCutoffDbm(double dbm);
+  void EnableSpatialIndex(bool on = true);
+
   Node* AddNode(const Node::Config& config);
 
   // Calls WifiMac::Start() on every node (APs beacon, STAs scan).

@@ -1,6 +1,9 @@
 #include "phy/channel.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <cstdlib>
 
 #include "core/units.h"
 #include "phy/mobility.h"
@@ -10,77 +13,200 @@
 namespace wlansim {
 
 Channel::Channel(Simulator* sim, std::unique_ptr<PropagationLossModel> loss, Rng rng)
-    : sim_(sim), loss_(std::move(loss)), rng_(rng) {}
+    : sim_(sim), loss_(std::move(loss)), rng_(rng) {
+  if (const char* env = std::getenv("WLANSIM_RX_CUTOFF_DBM")) {
+    rx_cutoff_dbm_ = std::strtod(env, nullptr);
+  }
+  if (const char* env = std::getenv("WLANSIM_SPATIAL_INDEX")) {
+    spatial_enabled_ = env[0] == '1';
+  }
+}
 
 void Channel::Attach(WifiPhy* phy) {
   phy_index_.InsertOrAssign(reinterpret_cast<uintptr_t>(phy),
                             static_cast<uint32_t>(phys_.size()));
   phys_.push_back(phy);
-  // The cache is tx-major with stride phys_.size(): re-attach invalidates
-  // everything (attachment only happens during scenario assembly).
-  link_cache_.assign(phys_.size() * phys_.size(), LinkState{});
+  if (phy->mobility() != nullptr) {
+    phy->mobility()->RegisterMutationCounter(&topology_generation_);
+  }
+  ++topology_generation_;
+}
+
+void Channel::OnMobilityReplaced(WifiPhy* phy) {
+  if (phy->mobility() != nullptr) {
+    phy->mobility()->RegisterMutationCounter(&topology_generation_);
+  }
+  ++topology_generation_;
 }
 
 void Channel::Send(WifiPhy* sender, const Packet& packet, const WifiMode& mode,
                    bool short_preamble) {
-  const Time now = sim_->Now();
-  const double frequency = sender->timing().frequency_hz;
-  MobilityModel* tx_mobility = sender->mobility();
-  const bool tx_static = tx_mobility->IsStatic();
-  const uint64_t tx_epoch = tx_mobility->PositionEpoch();
-  const uint64_t loss_epoch = loss_->MutationEpoch();
+  ++send_stats_.sends;
+
+  TxContext ctx;
+  ctx.sender = sender;
+  ctx.packet = &packet;
+  ctx.mode = &mode;
+  ctx.short_preamble = short_preamble;
+  ctx.now = sim_->Now();
+  ctx.frequency = sender->timing().frequency_hz;
+  ctx.tx_mobility = sender->mobility();
+  ctx.tx_static = ctx.tx_mobility->IsStatic();
+  ctx.tx_epoch = ctx.tx_mobility->PositionEpoch();
+  ctx.loss_epoch = loss_->MutationEpoch();
   const uint32_t* tx_index = phy_index_.Find(reinterpret_cast<uintptr_t>(sender));
   assert(tx_index != nullptr);
-  LinkState* tx_row = &link_cache_[*tx_index * phys_.size()];
+  ctx.tx_index = *tx_index;
 
-  // Transmit position is only needed on a cache miss; when every receiver
-  // row hits, the mobility model is never queried.
-  Vector3 tx_pos;
-  bool tx_pos_known = false;
+  if (spatial_enabled_) {
+    if (!grid_built_ || !GridCurrent()) {
+      RebuildGrid();
+    }
+    if (GridUsable()) {
+      // Indexed path. Any receiver whose pre-fading power can reach the
+      // cutoff lies within the sender's interference radius, and the radius
+      // never exceeds cell_size_, so the 3x3 cell block around the sender
+      // covers every candidate that OfferTo could deliver to. Receivers in
+      // the block but outside the radius are visited anyway and fall to the
+      // exact cutoff check — the grid only prunes, it never decides.
+      ++send_stats_.grid_queries;
+      ctx.tx_pos = ctx.tx_mobility->PositionAt(ctx.now);
+      ctx.tx_pos_known = true;
+      scratch_candidates_.clear();
+      const int64_t cx = static_cast<int64_t>(std::floor(ctx.tx_pos.x / cell_size_));
+      const int64_t cy = static_cast<int64_t>(std::floor(ctx.tx_pos.y / cell_size_));
+      for (int64_t dy = -1; dy <= 1; ++dy) {
+        for (int64_t dx = -1; dx <= 1; ++dx) {
+          if (const std::vector<uint32_t>* cell = grid_cells_.Find(CellKey(cx + dx, cy + dy))) {
+            scratch_candidates_.insert(scratch_candidates_.end(), cell->begin(), cell->end());
+          }
+        }
+      }
+      scratch_candidates_.insert(scratch_candidates_.end(), moving_.begin(), moving_.end());
+      // Ascending index order = the dense loop's visit order, so the fading
+      // draws below consume rng_ in exactly the same sequence.
+      std::sort(scratch_candidates_.begin(), scratch_candidates_.end());
+      for (const uint32_t i : scratch_candidates_) {
+        OfferTo(i, ctx);
+      }
+      return;
+    }
+  }
 
   for (size_t i = 0; i < phys_.size(); ++i) {
-    WifiPhy* rx = phys_[i];
-    if (rx == sender || rx->channel_number() != sender->channel_number()) {
+    OfferTo(i, ctx);
+  }
+}
+
+void Channel::OfferTo(size_t rx_index, TxContext& ctx) {
+  WifiPhy* rx = phys_[rx_index];
+  if (rx == ctx.sender || rx->channel_number() != ctx.sender->channel_number()) {
+    return;
+  }
+  ++send_stats_.candidates_visited;
+  MobilityModel* rx_mobility = rx->mobility();
+  const bool cacheable = ctx.tx_static && rx_mobility->IsStatic();
+  const uint64_t key = LinkKey(ctx.tx_index, static_cast<uint32_t>(rx_index));
+
+  double rx_dbm;
+  Time delay;
+  bool hit = false;
+  if (cacheable) {
+    if (const LinkState* entry = link_cache_.Find(key);
+        entry != nullptr && entry->tx_mobility == ctx.tx_mobility &&
+        entry->rx_mobility == rx_mobility && entry->tx_epoch == ctx.tx_epoch &&
+        entry->rx_epoch == rx_mobility->PositionEpoch() &&
+        entry->loss_epoch == ctx.loss_epoch) {
+      rx_dbm = entry->rx_dbm;
+      delay = entry->delay;
+      hit = true;
+      ++cache_stats_.hits;
+    }
+  }
+  if (!hit) {
+    if (!ctx.tx_pos_known) {
+      ctx.tx_pos = ctx.tx_mobility->PositionAt(ctx.now);
+      ctx.tx_pos_known = true;
+    }
+    const Vector3 rx_pos = rx_mobility->PositionAt(ctx.now);
+    const uint64_t link_id = MatrixLossModel::MakeLinkId(ctx.sender->node_id(), rx->node_id());
+    rx_dbm = loss_->RxPowerDbm(ctx.sender->config().tx_power_dbm, ctx.tx_pos, rx_pos,
+                               ctx.frequency, link_id);
+    delay = delay_model_.Delay(ctx.tx_pos, rx_pos);
+    ++cache_stats_.misses;
+    if (cacheable) {
+      link_cache_.InsertOrAssign(key, LinkState{rx_dbm, delay, ctx.tx_mobility, rx_mobility,
+                                                ctx.tx_epoch, rx_mobility->PositionEpoch(),
+                                                ctx.loss_epoch});
+    }
+  }
+
+  // The cutoff gates everything downstream — including the fading draw, so
+  // a suppressed receiver consumes no RNG on either the dense or the
+  // indexed path. Compared on the pre-fading power: the cutoff models
+  // receiver-independent propagation reach, not fast-fading luck.
+  if (rx_dbm < rx_cutoff_dbm_) {
+    ++send_stats_.cutoff_suppressed;
+    return;
+  }
+  ++send_stats_.offers;
+  if (send_probe_) {
+    send_probe_(ctx.sender, rx, rx_dbm, delay);
+  }
+  if (fading_ != nullptr) {
+    rx_dbm += RatioToDb(fading_->SampleGain(rng_));
+  }
+
+  // Copy by value: each receiver owns an independent packet instance.
+  Packet copy = *ctx.packet;
+  const bool decodable = !ctx.sender->config().transmissions_undecodable;
+  WifiMode mode = *ctx.mode;
+  sim_->Schedule(delay, [rx, copy = std::move(copy), mode, short_preamble = ctx.short_preamble,
+                         rx_dbm, decodable]() mutable {
+    rx->StartRx(std::move(copy), mode, short_preamble, rx_dbm, decodable);
+  });
+}
+
+void Channel::RebuildGrid() {
+  ++send_stats_.grid_rebuilds;
+  grid_built_ = true;
+  grid_generation_ = topology_generation_;
+  grid_loss_epoch_ = loss_->MutationEpoch();
+  grid_cells_.Clear();
+  moving_.clear();
+
+  double radius = 0.0;
+  for (const WifiPhy* phy : phys_) {
+    radius = std::max(radius, loss_->MaxRangeMeters(phy->config().tx_power_dbm,
+                                                    phy->timing().frequency_hz, rx_cutoff_dbm_));
+  }
+  if (phys_.empty() || !std::isfinite(radius)) {
+    // Unbounded radius (matrix/shadowing loss, or -inf cutoff): no cell
+    // size can cover it, so Send stays on the dense loop.
+    cell_size_ = 0.0;
+    return;
+  }
+  // Cell size = the largest attached interference radius, padded so a
+  // borderline receiver (floating-point rounding at exactly the radius)
+  // still lands inside the 3x3 query block rather than being pruned.
+  cell_size_ = radius * 1.001 + 1.0;
+
+  const Time now = sim_->Now();
+  for (uint32_t i = 0; i < phys_.size(); ++i) {
+    MobilityModel* mobility = phys_[i]->mobility();
+    if (mobility == nullptr || !mobility->IsStatic()) {
+      moving_.push_back(i);  // ascending by construction
       continue;
     }
-    MobilityModel* rx_mobility = rx->mobility();
-    LinkState& entry = tx_row[i];
-    const bool cacheable = tx_static && rx_mobility->IsStatic();
-    double rx_dbm;
-    Time delay;
-    if (cacheable && entry.tx_mobility == tx_mobility && entry.rx_mobility == rx_mobility &&
-        entry.tx_epoch == tx_epoch && entry.rx_epoch == rx_mobility->PositionEpoch() &&
-        entry.loss_epoch == loss_epoch) {
-      rx_dbm = entry.rx_dbm;
-      delay = entry.delay;
-      ++cache_stats_.hits;
-    } else {
-      if (!tx_pos_known) {
-        tx_pos = tx_mobility->PositionAt(now);
-        tx_pos_known = true;
-      }
-      const Vector3 rx_pos = rx_mobility->PositionAt(now);
-      const uint64_t link_id = MatrixLossModel::MakeLinkId(sender->node_id(), rx->node_id());
-      rx_dbm =
-          loss_->RxPowerDbm(sender->config().tx_power_dbm, tx_pos, rx_pos, frequency, link_id);
-      delay = delay_model_.Delay(tx_pos, rx_pos);
-      ++cache_stats_.misses;
-      if (cacheable) {
-        entry = LinkState{rx_dbm,   delay,    tx_mobility, rx_mobility,
-                          tx_epoch, rx_mobility->PositionEpoch(), loss_epoch};
-      }
+    const Vector3 pos = mobility->PositionAt(now);
+    const uint64_t cell_key =
+        CellKey(static_cast<int64_t>(std::floor(pos.x / cell_size_)),
+                static_cast<int64_t>(std::floor(pos.y / cell_size_)));
+    std::vector<uint32_t>* cell = grid_cells_.Find(cell_key);
+    if (cell == nullptr) {
+      cell = &grid_cells_.InsertOrAssign(cell_key, {});
     }
-    if (fading_ != nullptr) {
-      rx_dbm += RatioToDb(fading_->SampleGain(rng_));
-    }
-
-    // Copy by value: each receiver owns an independent packet instance.
-    Packet copy = packet;
-    const bool decodable = !sender->config().transmissions_undecodable;
-    sim_->Schedule(delay,
-                   [rx, copy = std::move(copy), mode, short_preamble, rx_dbm, decodable]() mutable {
-                     rx->StartRx(std::move(copy), mode, short_preamble, rx_dbm, decodable);
-                   });
+    cell->push_back(i);  // ascending within each cell by construction
   }
 }
 

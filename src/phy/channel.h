@@ -6,17 +6,47 @@
 // to different channel numbers do not hear each other (adjacent-channel
 // leakage is out of scope).
 //
-// Hot path: received power and delay between two *static* nodes never
-// change, so they are memoized in a per-(tx, rx) LinkCache row instead of
-// being recomputed through the loss model on every transmission. Rows
-// validate against the endpoints' MobilityModel identity and position
-// epoch — a moving node (IsStatic() == false) bypasses the cache, and a
-// teleported static node (SetPosition bumps its epoch) invalidates its rows
-// on the next lookup, with no explicit invalidation traffic.
+// Hot paths, in layers:
+//
+//  - Link cache: received power and delay between two *static* nodes never
+//    change, so they are memoized in a sparse per-(tx, rx) LinkState row
+//    (FlatHash64 keyed by the index pair) instead of being recomputed
+//    through the loss model on every transmission. Rows validate against
+//    the endpoints' MobilityModel identity, their position epochs, and the
+//    loss model's mutation epoch — a moving node (IsStatic() == false)
+//    bypasses the cache, and a teleported static node (SetPosition bumps
+//    its epoch) invalidates its rows on the next lookup, with no explicit
+//    invalidation traffic. The cache holds only links that transmissions
+//    actually touch, so it stays proportional to the live working set, not
+//    to phys^2, and Attach is O(1).
+//
+//  - Reception cutoff: SetRxCutoffDbm installs a channel-wide floor —
+//    a transmission whose pre-fading received power at a PHY is below the
+//    cutoff is not delivered at all (no frame, no CCA energy, no
+//    interference contribution). This is a *semantic* of the channel,
+//    applied identically whether or not the spatial index is enabled; that
+//    identity is what makes the indexed path bit-exact. Default: -infinity
+//    (deliver everything, the historical behaviour).
+//
+//  - Spatial receiver index: with a finite cutoff and a loss model that can
+//    bound its interference radius (PropagationLossModel::MaxRangeMeters),
+//    EnableSpatialIndex makes Send visit only receivers inside the
+//    transmitter's radius, found through a uniform grid over static node
+//    positions (cell size = the largest attached radius). The grid is
+//    rebuilt lazily when the topology generation moves — Attach, a static
+//    node's SetPosition (via MobilityModel::RegisterMutationCounter), a
+//    mobility-model swap, or a cutoff change all bump it. Moving nodes are
+//    never indexed: they sit on a bypass list that every Send visits.
+//    Candidates are visited in ascending attach order — the dense loop's
+//    order — so the per-receiver fading draws consume the channel RNG in
+//    exactly the same sequence and small-topology outputs stay
+//    byte-identical to the dense path.
 
 #ifndef WLANSIM_PHY_CHANNEL_H_
 #define WLANSIM_PHY_CHANNEL_H_
 
+#include <functional>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -35,6 +65,11 @@ class WifiPhy;
 
 class Channel {
  public:
+  // Environment overrides (read once at construction, before any setter):
+  // WLANSIM_SPATIAL_INDEX=1 enables the spatial index and
+  // WLANSIM_RX_CUTOFF_DBM=<dbm> sets the reception cutoff. They exist so CI
+  // can A/B an unmodified scenario binary against the dense path without
+  // perturbing its parameters (and therefore its CSV output).
   Channel(Simulator* sim, std::unique_ptr<PropagationLossModel> loss, Rng rng);
 
   // Optional per-frame fading (applied on top of the loss model, never
@@ -46,6 +81,21 @@ class Channel {
   // Broadcasts `packet` from `sender`. Called by WifiPhy::StartTx.
   void Send(WifiPhy* sender, const Packet& packet, const WifiMode& mode, bool short_preamble);
 
+  // Channel-wide reception floor in dBm (see the header comment). Applies
+  // to the pre-fading received power; receivers exactly at the cutoff are
+  // still delivered (>= compare).
+  void SetRxCutoffDbm(double dbm) {
+    rx_cutoff_dbm_ = dbm;
+    ++topology_generation_;
+  }
+  double rx_cutoff_dbm() const { return rx_cutoff_dbm_; }
+
+  // Spatial receiver index on/off. Purely an acceleration structure: with
+  // the cutoff semantics fixed, enabling it never changes which receivers
+  // hear a transmission, their received powers, delays, or any RNG draw.
+  void EnableSpatialIndex(bool on) { spatial_enabled_ = on; }
+  bool spatial_index_enabled() const { return spatial_enabled_; }
+
   // Built-in loss models bump their MutationEpoch on mid-run edits (e.g.
   // MatrixLossModel::SetLoss), which invalidates memoized rows
   // automatically. A user-defined model that mutates without bumping must
@@ -54,9 +104,12 @@ class Channel {
 
   // Drops every memoized link row; the next transmission recomputes through
   // the loss model.
-  void InvalidateLinkCache() {
-    link_cache_.assign(link_cache_.size(), LinkState{});
-  }
+  void InvalidateLinkCache() { link_cache_.Clear(); }
+
+  // Called by WifiPhy::SetMobility when a node's mobility model instance is
+  // replaced mid-run: registers the index's generation counter on the new
+  // model and forces a grid rebuild on the next Send.
+  void OnMobilityReplaced(WifiPhy* phy);
 
   // Link-cache hit/miss counters (diagnostics and cache tests).
   struct CacheStats {
@@ -64,6 +117,27 @@ class Channel {
     uint64_t misses = 0;  // includes uncacheable (moving-endpoint) links
   };
   const CacheStats& cache_stats() const { return cache_stats_; }
+
+  // Transmission fan-out counters. `offers` and `sends` are invariant
+  // between the dense and indexed paths (the differential CI gate relies on
+  // that); the remaining counters describe how much work each path did.
+  struct SendStats {
+    uint64_t sends = 0;               // Send() calls
+    uint64_t offers = 0;              // receiver arrivals actually scheduled
+    uint64_t candidates_visited = 0;  // receivers examined (incl. suppressed)
+    uint64_t cutoff_suppressed = 0;   // visited but below the cutoff
+    uint64_t grid_queries = 0;        // sends answered by the spatial index
+    uint64_t grid_rebuilds = 0;
+  };
+  const SendStats& send_stats() const { return send_stats_; }
+
+  // Test/trace hook: observes every scheduled delivery with its *pre-fading*
+  // received power and propagation delay (the deterministic link quantities
+  // the differential tests compare). Null by default; not a hot-path
+  // feature.
+  using SendProbe =
+      std::function<void(const WifiPhy* tx, const WifiPhy* rx, double rx_dbm, Time delay)>;
+  void SetSendProbe(SendProbe probe) { send_probe_ = std::move(probe); }
 
  private:
   // One memoized (tx, rx) link. Valid while both endpoints still use the
@@ -79,15 +153,71 @@ class Channel {
     uint64_t loss_epoch = 0;
   };
 
+  // Per-Send state shared by every receiver visit.
+  struct TxContext {
+    WifiPhy* sender = nullptr;
+    const Packet* packet = nullptr;
+    const WifiMode* mode = nullptr;
+    bool short_preamble = false;
+    Time now;
+    double frequency = 0.0;
+    MobilityModel* tx_mobility = nullptr;
+    bool tx_static = false;
+    uint64_t tx_epoch = 0;
+    uint64_t loss_epoch = 0;
+    uint32_t tx_index = 0;
+    Vector3 tx_pos;
+    bool tx_pos_known = false;
+  };
+
+  static uint64_t LinkKey(uint32_t tx_index, uint32_t rx_index) {
+    return (static_cast<uint64_t>(tx_index) << 32) | rx_index;
+  }
+  static uint64_t CellKey(int64_t cx, int64_t cy) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+           static_cast<uint32_t>(cy);
+  }
+
+  // The shared per-receiver body of Send: cache lookup or loss-model
+  // computation, the cutoff check, the fading draw, and arrival scheduling.
+  // Both the dense loop and the indexed loop funnel through it, in the same
+  // receiver order — that is the bit-exactness argument in one sentence.
+  void OfferTo(size_t rx_index, TxContext& ctx);
+
+  // True when Send may use the grid: index enabled, finite cutoff, and the
+  // loss model bounded every attached transmitter's radius at last rebuild.
+  bool GridUsable() const { return spatial_enabled_ && cell_size_ > 0.0; }
+  bool GridCurrent() const {
+    return grid_generation_ == topology_generation_ && grid_loss_epoch_ == loss_->MutationEpoch();
+  }
+  void RebuildGrid();
+
   Simulator* sim_;
   std::unique_ptr<PropagationLossModel> loss_;
   std::unique_ptr<FadingModel> fading_;
   ConstantSpeedDelayModel delay_model_;
   Rng rng_;
   std::vector<WifiPhy*> phys_;
-  FlatHash64<uint32_t> phy_index_;    // WifiPhy* -> index into phys_
-  std::vector<LinkState> link_cache_;  // phys_.size()^2 rows, tx-major
+  FlatHash64<uint32_t> phy_index_;      // WifiPhy* -> index into phys_
+  FlatHash64<LinkState> link_cache_;    // keyed by LinkKey(tx, rx); sparse
   CacheStats cache_stats_;
+
+  double rx_cutoff_dbm_ = -std::numeric_limits<double>::infinity();
+  bool spatial_enabled_ = false;
+
+  // Spatial grid over static phys. cell_size_ <= 0 means "no usable grid"
+  // (unbounded radius or nothing attached): Send stays on the dense loop.
+  double cell_size_ = 0.0;
+  FlatHash64<std::vector<uint32_t>> grid_cells_;  // CellKey -> phy indices (ascending)
+  std::vector<uint32_t> moving_;                  // non-static phys, ascending
+  uint64_t topology_generation_ = 0;  // bumped by Attach/teleports/swaps/cutoff
+  uint64_t grid_generation_ = 0;      // topology generation the grid was built at
+  uint64_t grid_loss_epoch_ = 0;      // loss MutationEpoch at build
+  bool grid_built_ = false;
+  std::vector<uint32_t> scratch_candidates_;
+
+  SendStats send_stats_;
+  SendProbe send_probe_;
 };
 
 }  // namespace wlansim

@@ -27,6 +27,26 @@ class MobilityModel {
   // scenario reconfiguration). Lets cache entries for static nodes go stale
   // without any explicit invalidation call — dirty-marking by comparison.
   virtual uint64_t PositionEpoch() const { return 0; }
+
+  // The channel's spatial receiver index registers its topology-generation
+  // counter here; NotifyPositionMutation() bumps it together with
+  // PositionEpoch(), so position-derived state (grid cell assignments) can
+  // detect a teleport with one integer compare per transmission instead of
+  // scanning every node's epoch. A subclass that mutates its position
+  // externally must call NotifyPositionMutation() alongside its epoch bump;
+  // continuously moving models (IsStatic() == false) never need to — they
+  // bypass position-derived caches entirely.
+  void RegisterMutationCounter(uint64_t* counter) { mutation_counter_ = counter; }
+
+ protected:
+  void NotifyPositionMutation() {
+    if (mutation_counter_ != nullptr) {
+      ++*mutation_counter_;
+    }
+  }
+
+ private:
+  uint64_t* mutation_counter_ = nullptr;
 };
 
 class ConstantPositionMobility final : public MobilityModel {
@@ -36,6 +56,7 @@ class ConstantPositionMobility final : public MobilityModel {
   void SetPosition(Vector3 position) {
     position_ = position;
     ++epoch_;
+    NotifyPositionMutation();
   }
 
   bool IsStatic() const override { return true; }

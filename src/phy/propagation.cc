@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace wlansim {
 namespace {
@@ -21,6 +22,18 @@ double FreeSpaceLossModel::RxPowerDbm(double tx_power_dbm, const Vector3& tx_pos
                                       uint64_t /*link_id*/) {
   const double d = std::max(tx_pos.DistanceTo(rx_pos), 1.0);
   return tx_power_dbm - FriisLossDb(d, frequency_hz);
+}
+
+double FreeSpaceLossModel::MaxRangeMeters(double tx_power_dbm, double frequency_hz,
+                                          double cutoff_dbm) const {
+  // Invert Friis: loss(d) = 20 log10(4 pi d / lambda), so the largest d with
+  // rx >= cutoff is d = (lambda / 4 pi) * 10^((tx - cutoff) / 20). Clamp to
+  // the 1 m near-field floor RxPowerDbm applies; the result may be +inf when
+  // cutoff is -inf, which callers treat as "no pruning possible".
+  const double lambda = kSpeedOfLight / frequency_hz;
+  const double d = lambda / (4.0 * std::numbers::pi) *
+                   std::pow(10.0, (tx_power_dbm - cutoff_dbm) / 20.0);
+  return std::max(d, 1.0);
 }
 
 LogDistanceLossModel::LogDistanceLossModel(double exponent, double shadowing_sigma_db,
@@ -43,6 +56,18 @@ double LogDistanceLossModel::RxPowerDbm(double tx_power_dbm, const Vector3& tx_p
     loss += *shadowing;
   }
   return tx_power_dbm - loss;
+}
+
+double LogDistanceLossModel::MaxRangeMeters(double tx_power_dbm, double frequency_hz,
+                                            double cutoff_dbm) const {
+  if (sigma_db_ > 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Invert rx = tx - PL(1m) - 10 n log10(d): the allowed excess loss beyond
+  // the reference distance bounds d from above.
+  const double allowed_db = tx_power_dbm - cutoff_dbm - FriisLossDb(1.0, frequency_hz);
+  const double d = std::pow(10.0, allowed_db / (10.0 * exponent_));
+  return std::max(d, 1.0);
 }
 
 void MatrixLossModel::SetLoss(uint32_t node_a, uint32_t node_b, double loss_db) {

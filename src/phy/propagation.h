@@ -7,6 +7,7 @@
 #define WLANSIM_PHY_PROPAGATION_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <utility>
 
@@ -26,6 +27,22 @@ class PropagationLossModel {
   // (shadowing); pass the same id for the same ordered pair.
   virtual double RxPowerDbm(double tx_power_dbm, const Vector3& tx_pos, const Vector3& rx_pos,
                             double frequency_hz, uint64_t link_id) = 0;
+
+  // Conservative interference radius: a distance R such that RxPowerDbm is
+  // guaranteed below `cutoff_dbm` for every receiver farther than R from the
+  // transmitter. The channel's spatial receiver index prunes receivers
+  // outside R; the exact per-receiver cutoff check still runs inside it, so
+  // R only has to be an upper bound, never tight. The default (infinity)
+  // means "no bound can be promised": position-independent models
+  // (MatrixLossModel) and models with unbounded per-link terms (log-normal
+  // shadowing) return it, which keeps the dense all-receivers path in use.
+  virtual double MaxRangeMeters(double tx_power_dbm, double frequency_hz,
+                                double cutoff_dbm) const {
+    (void)tx_power_dbm;
+    (void)frequency_hz;
+    (void)cutoff_dbm;
+    return std::numeric_limits<double>::infinity();
+  }
 
   // Bumped by every mutation that changes future RxPowerDbm results for
   // unchanged inputs (e.g. MatrixLossModel::SetLoss). The channel's link
@@ -48,6 +65,8 @@ class FreeSpaceLossModel final : public PropagationLossModel {
  public:
   double RxPowerDbm(double tx_power_dbm, const Vector3& tx_pos, const Vector3& rx_pos,
                     double frequency_hz, uint64_t link_id) override;
+  double MaxRangeMeters(double tx_power_dbm, double frequency_hz,
+                        double cutoff_dbm) const override;
 };
 
 // Log-distance: PL(d) = PL(d0) + 10 n log10(d/d0), PL(d0) from Friis at the
@@ -60,6 +79,12 @@ class LogDistanceLossModel final : public PropagationLossModel {
 
   double RxPowerDbm(double tx_power_dbm, const Vector3& tx_pos, const Vector3& rx_pos,
                     double frequency_hz, uint64_t link_id) override;
+
+  // Exact inversion of the deterministic log-distance curve. With shadowing
+  // enabled (sigma > 0) the per-link Gaussian term is unbounded, so no
+  // finite radius can be promised and the default (infinity) is returned.
+  double MaxRangeMeters(double tx_power_dbm, double frequency_hz,
+                        double cutoff_dbm) const override;
 
  private:
   double exponent_;

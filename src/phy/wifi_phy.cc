@@ -23,6 +23,13 @@ void WifiPhy::AttachChannel(Channel* channel, uint32_t node_id, MobilityModel* m
   channel->Attach(this);
 }
 
+void WifiPhy::SetMobility(MobilityModel* mobility) {
+  mobility_ = mobility;
+  if (channel_ != nullptr) {
+    channel_->OnMobilityReplaced(this);
+  }
+}
+
 uint64_t WifiPhy::HeaderBits(const WifiMode& mode) {
   // OFDM SIGNAL field: 24 bits. DSSS PLCP header: 48 bits.
   return mode.IsOfdm() ? 24 : 48;

@@ -71,7 +71,9 @@ class WifiPhy {
 
   // Wiring.
   void AttachChannel(Channel* channel, uint32_t node_id, MobilityModel* mobility);
-  void SetMobility(MobilityModel* mobility) { mobility_ = mobility; }
+  // Swaps the mobility model instance (Node::SetMobility). The channel is
+  // notified so position-derived state (spatial index) tracks the new model.
+  void SetMobility(MobilityModel* mobility);
   void SetListener(PhyListener* listener) { listener_ = listener; }
   using ReceiveCallback = std::function<void(Packet, const RxInfo&)>;
   void SetReceiveCallback(ReceiveCallback cb) { receive_cb_ = std::move(cb); }

@@ -313,6 +313,77 @@ DenseMultiBssResult RunDenseMultiBssScenario(const DenseMultiBssParams& p) {
   return result;
 }
 
+CityGridResult RunCityGridScenario(const CityGridParams& p) {
+  Network net(Network::Params{.seed = p.seed});
+  net.UseLogDistanceLoss(3.0);  // no shadowing: the index needs a bounded radius
+  net.SetRxCutoffDbm(p.cutoff_dbm);
+  if (p.spatial) {
+    net.EnableSpatialIndex(true);
+  }
+
+  const auto modes = ModesFor(p.standard);
+  const WifiMode fixed = modes.back();
+  const size_t n_bss = std::max<size_t>(p.n_bss, 1);
+  const size_t side = static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(n_bss))));
+
+  struct Bss {
+    Node* ap;
+    std::vector<Node*> stas;
+  };
+  std::vector<Bss> bsss;
+  for (size_t k = 0; k < n_bss; ++k) {
+    const double ap_x = static_cast<double>(k % side) * p.bss_spacing;
+    const double ap_y = static_cast<double>(k / side) * p.bss_spacing;
+    const std::string ssid = "bss" + std::to_string(k);
+    Bss bss;
+    bss.ap = net.AddNode(
+        {.role = MacRole::kAp, .standard = p.standard, .ssid = ssid, .position = {ap_x, ap_y, 0}});
+    for (size_t i = 0; i < p.stas_per_bss; ++i) {
+      const double angle = 2.0 * kPi * static_cast<double>(i) /
+                           static_cast<double>(std::max<size_t>(p.stas_per_bss, 1));
+      Node* sta = net.AddNode({.role = MacRole::kSta,
+                               .standard = p.standard,
+                               .ssid = ssid,
+                               .position = {ap_x + p.sta_radius * std::cos(angle),
+                                            ap_y + p.sta_radius * std::sin(angle), 0}});
+      sta->SetRateController(std::make_unique<FixedRateController>(fixed));
+      bss.stas.push_back(sta);
+    }
+    bsss.push_back(std::move(bss));
+  }
+  net.StartAll();
+
+  uint32_t flow_id = 1;
+  for (Bss& bss : bsss) {
+    for (Node* sta : bss.stas) {
+      sta->AddTraffic<SaturatedTraffic>(bss.ap->address(), flow_id++, p.payload)
+          ->Start(p.warmup);
+    }
+  }
+  net.Run(p.warmup + p.sim_time);
+
+  CityGridResult result;
+  RunResult& r = result.run;
+  r.goodput_mbps = net.flow_stats().GoodputMbps();
+  r.loss_rate = net.flow_stats().LossRate();
+  r.mean_delay_ms = MeanDelayMs(net.flow_stats());
+  for (const Bss& bss : bsss) {
+    r.rx_ok += bss.ap->mac().counters().rx_data;
+    for (Node* sta : bss.stas) {
+      r.retries += sta->mac().counters().retries;
+      r.tx_attempts += sta->mac().counters().tx_data_attempts;
+    }
+  }
+  const Channel::SendStats& cs = net.channel().send_stats();
+  result.channel_sends = cs.sends;
+  result.channel_offers = cs.offers;
+  result.candidates_visited = cs.candidates_visited;
+  result.cutoff_suppressed = cs.cutoff_suppressed;
+  result.grid_queries = cs.grid_queries;
+  result.grid_rebuilds = cs.grid_rebuilds;
+  return result;
+}
+
 RunResult RunIsmInterferenceScenario(const IsmParams& p) {
   Network net(Network::Params{.seed = p.seed});
   net.UseLogDistanceLoss(3.0);

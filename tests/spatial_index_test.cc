@@ -1,0 +1,319 @@
+// The spatial receiver index's one contract: with the reception cutoff
+// fixed, the indexed path is bit-exact against the dense path — same
+// receivers, same pre-fading powers and delays, in the same order, with the
+// same RNG consumption. These tests enforce it differentially on random
+// topologies (with and without fading), then pin the index's moving parts:
+// lazy grid rebuilds on static teleports and mobility swaps, the exact
+// boundary semantics of the cutoff, and the moving-node bypass list.
+
+#include <cstdlib>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/packet.h"
+#include "core/random.h"
+#include "core/simulator.h"
+#include "phy/channel.h"
+#include "phy/fading.h"
+#include "phy/mobility.h"
+#include "phy/propagation.h"
+#include "phy/wifi_mode.h"
+#include "phy/wifi_phy.h"
+
+namespace wlansim {
+namespace {
+
+// One offer as seen by the channel probe: (tx node, rx node, pre-fading
+// power, delay). Exact tuple equality is the differential check.
+using Offer = std::tuple<uint32_t, uint32_t, double, double>;
+
+// A MAC-less world of bare PHYs on one channel: `n_static` uniform random
+// static nodes plus `n_moving` constant-velocity movers crossing the area.
+struct World {
+  Simulator sim;
+  Channel channel;
+  std::vector<std::unique_ptr<MobilityModel>> mobility;
+  std::vector<std::unique_ptr<WifiPhy>> phys;
+  std::vector<Offer> offers;
+
+  World(uint64_t seed, bool spatial, double cutoff_dbm, size_t n_static, size_t n_moving,
+        double side, bool rayleigh = false)
+      : channel(&sim, std::make_unique<LogDistanceLossModel>(3.0), Rng(seed)) {
+    channel.SetRxCutoffDbm(cutoff_dbm);
+    channel.EnableSpatialIndex(spatial);
+    if (rayleigh) {
+      channel.SetFading(std::make_unique<RayleighFading>());
+    }
+    channel.SetSendProbe([this](const WifiPhy* tx, const WifiPhy* rx, double dbm, Time delay) {
+      offers.emplace_back(tx->node_id(), rx->node_id(), dbm, delay.seconds());
+    });
+    Rng rng(seed + 1);
+    for (size_t i = 0; i < n_static + n_moving; ++i) {
+      const Vector3 pos{rng.Uniform(0.0, side), rng.Uniform(0.0, side), 0.0};
+      if (i < n_static) {
+        mobility.push_back(std::make_unique<ConstantPositionMobility>(pos));
+      } else {
+        const Vector3 vel{rng.Uniform(-15.0, 15.0), rng.Uniform(-15.0, 15.0), 0.0};
+        mobility.push_back(std::make_unique<ConstantVelocityMobility>(pos, vel));
+      }
+      phys.push_back(std::make_unique<WifiPhy>(&sim, WifiPhy::Config{}, Rng(seed + 10 + i)));
+      phys.back()->AttachChannel(&channel, static_cast<uint32_t>(i), mobility[i].get());
+    }
+  }
+
+  // `count` transmissions from senders spread over all nodes (movers
+  // included), 2 ms apart so frames don't overlap, then a full drain.
+  void RunSends(size_t count) {
+    const Packet packet(400);
+    const WifiMode mode = ModesFor(PhyStandard::k80211b).back();
+    for (size_t k = 0; k < count; ++k) {
+      WifiPhy* sender = phys[(k * 7919) % phys.size()].get();
+      sim.Schedule(Time::Millis(2 * static_cast<int64_t>(k + 1)) - sim.Now(),
+                   [this, sender, packet, mode] { channel.Send(sender, packet, mode, false); });
+    }
+    sim.RunUntil(Time::Millis(2 * static_cast<int64_t>(count + 2)));
+  }
+};
+
+// The tentpole property: on random topologies the indexed path reproduces
+// the dense path's offer stream exactly — not approximately, not as a set,
+// but the same (tx, rx, power, delay) tuples in the same order.
+TEST(SpatialIndex, RandomizedDifferentialOfferStreamIsExact) {
+  for (const uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+    World dense(seed, /*spatial=*/false, /*cutoff_dbm=*/-92.0, 40, 3, 600.0);
+    World spatial(seed, /*spatial=*/true, /*cutoff_dbm=*/-92.0, 40, 3, 600.0);
+    dense.RunSends(24);
+    spatial.RunSends(24);
+
+    ASSERT_FALSE(dense.offers.empty());
+    EXPECT_EQ(dense.offers, spatial.offers) << "seed " << seed;
+    // Path-invariant counters agree; the index actually ran and pruned.
+    EXPECT_EQ(dense.channel.send_stats().offers, spatial.channel.send_stats().offers);
+    EXPECT_EQ(dense.channel.send_stats().sends, spatial.channel.send_stats().sends);
+    EXPECT_GT(spatial.channel.send_stats().grid_queries, 0u) << "seed " << seed;
+    EXPECT_LT(spatial.channel.send_stats().candidates_visited,
+              dense.channel.send_stats().candidates_visited)
+        << "seed " << seed;
+  }
+}
+
+// With per-frame fading the RNG draw sequence is part of the contract: a
+// suppressed receiver must not consume a draw on either path. Post-fading
+// outcomes (every PHY's reception counters) must therefore match exactly.
+TEST(SpatialIndex, DifferentialWithFadingMatchesReceptionCounters) {
+  for (const uint64_t seed : {7u, 77u}) {
+    World dense(seed, false, -92.0, 30, 2, 500.0, /*rayleigh=*/true);
+    World spatial(seed, true, -92.0, 30, 2, 500.0, /*rayleigh=*/true);
+    dense.RunSends(20);
+    spatial.RunSends(20);
+
+    EXPECT_EQ(dense.offers, spatial.offers) << "seed " << seed;
+    for (size_t i = 0; i < dense.phys.size(); ++i) {
+      const WifiPhy::Counters& d = dense.phys[i]->counters();
+      const WifiPhy::Counters& s = spatial.phys[i]->counters();
+      EXPECT_EQ(d.rx_ok, s.rx_ok) << "node " << i << " seed " << seed;
+      EXPECT_EQ(d.rx_error, s.rx_error) << "node " << i << " seed " << seed;
+      EXPECT_EQ(d.rx_dropped_busy, s.rx_dropped_busy) << "node " << i << " seed " << seed;
+    }
+  }
+}
+
+// Teleporting a static node must rebuild the grid before the next send:
+// the node's old cell must stop answering for it and its new cell must.
+TEST(SpatialIndex, StaticTeleportRebuildsGrid) {
+  Simulator sim;
+  Channel channel{&sim, std::make_unique<LogDistanceLossModel>(3.0), Rng(1)};
+  channel.SetRxCutoffDbm(-80.0);  // range ~=~ 21 m at 16 dBm
+  channel.EnableSpatialIndex(true);
+  ConstantPositionMobility pos_a{{0, 0, 0}};
+  ConstantPositionMobility pos_b{{10, 0, 0}};
+  ConstantPositionMobility pos_c{{5000, 5000, 0}};  // far outside a's radius
+  WifiPhy a{&sim, {}, Rng(2)};
+  WifiPhy b{&sim, {}, Rng(3)};
+  WifiPhy c{&sim, {}, Rng(4)};
+  a.AttachChannel(&channel, 0, &pos_a);
+  b.AttachChannel(&channel, 1, &pos_b);
+  c.AttachChannel(&channel, 2, &pos_c);
+
+  const Packet p(100);
+  const WifiMode mode = ModesFor(PhyStandard::k80211b).back();
+  channel.Send(&a, p, mode, false);
+  EXPECT_EQ(channel.send_stats().offers, 1u);  // b only; c pruned by the grid
+  EXPECT_EQ(channel.send_stats().grid_rebuilds, 1u);
+
+  pos_c.SetPosition({0, 5, 0});  // teleport into a's cell
+  channel.Send(&a, p, mode, false);
+  EXPECT_EQ(channel.send_stats().offers, 3u);  // b and c
+  EXPECT_EQ(channel.send_stats().grid_rebuilds, 2u);
+  sim.RunUntil(Time::Seconds(1));
+}
+
+// Swapping a PHY's mobility model instance (Node::SetMobility path) must
+// re-register the channel's counter and force a rebuild, so the new
+// position is honoured immediately.
+TEST(SpatialIndex, MobilitySwapForcesRebuild) {
+  Simulator sim;
+  Channel channel{&sim, std::make_unique<LogDistanceLossModel>(3.0), Rng(1)};
+  channel.SetRxCutoffDbm(-80.0);
+  channel.EnableSpatialIndex(true);
+  ConstantPositionMobility pos_a{{0, 0, 0}};
+  ConstantPositionMobility far{{9000, 9000, 0}};
+  WifiPhy a{&sim, {}, Rng(2)};
+  WifiPhy b{&sim, {}, Rng(3)};
+  a.AttachChannel(&channel, 0, &pos_a);
+  b.AttachChannel(&channel, 1, &far);
+
+  const Packet p(100);
+  const WifiMode mode = ModesFor(PhyStandard::k80211b).back();
+  channel.Send(&a, p, mode, false);
+  EXPECT_EQ(channel.send_stats().offers, 0u);
+
+  ConstantPositionMobility near{{8, 0, 0}};
+  b.SetMobility(&near);
+  channel.Send(&a, p, mode, false);
+  EXPECT_EQ(channel.send_stats().offers, 1u);
+  EXPECT_GE(channel.send_stats().grid_rebuilds, 2u);
+  sim.RunUntil(Time::Seconds(1));
+}
+
+// Boundary semantics, pinned with a matrix loss (exact dB arithmetic, no
+// geometry): power exactly at the cutoff is delivered (>= compare), the
+// tiniest step below is suppressed. Matrix loss has no finite radius, so
+// this also covers the dense-fallback path with the index enabled.
+TEST(SpatialIndex, CutoffBoundaryIsInclusive) {
+  Simulator sim;
+  auto loss = std::make_unique<MatrixLossModel>(200.0);
+  MatrixLossModel* matrix = loss.get();
+  Channel channel{&sim, std::move(loss), Rng(1)};
+  channel.SetRxCutoffDbm(-90.0);
+  channel.EnableSpatialIndex(true);
+  ConstantPositionMobility pos_a{{0, 0, 0}};
+  ConstantPositionMobility pos_b{{10, 0, 0}};
+  WifiPhy a{&sim, {.tx_power_dbm = 16.0}, Rng(2)};
+  WifiPhy b{&sim, {}, Rng(3)};
+  a.AttachChannel(&channel, 0, &pos_a);
+  b.AttachChannel(&channel, 1, &pos_b);
+
+  const Packet p(100);
+  const WifiMode mode = ModesFor(PhyStandard::k80211b).back();
+
+  matrix->SetLoss(0, 1, 106.0);  // rx = 16 - 106 = -90, exactly the cutoff
+  channel.Send(&a, p, mode, false);
+  EXPECT_EQ(channel.send_stats().offers, 1u);
+  EXPECT_EQ(channel.send_stats().cutoff_suppressed, 0u);
+  // Unbounded radius: the index must have fallen back to the dense loop.
+  EXPECT_EQ(channel.send_stats().grid_queries, 0u);
+
+  matrix->SetLoss(0, 1, 106.0 + 1e-9);  // epsilon below the cutoff
+  channel.Send(&a, p, mode, false);
+  EXPECT_EQ(channel.send_stats().offers, 1u);  // unchanged
+  EXPECT_EQ(channel.send_stats().cutoff_suppressed, 1u);
+  sim.RunUntil(Time::Seconds(1));
+}
+
+// A receiver placed exactly at the loss model's promised MaxRangeMeters:
+// whatever the dense path decides at that floating-point knife edge, the
+// indexed path must decide identically (the radius is conservative, so the
+// grid may never be the one to drop it).
+TEST(SpatialIndex, ReceiverExactlyAtRadiusMatchesDensePath) {
+  const double cutoff = -88.0;
+  const WifiPhy::Config config;  // 16 dBm, 11b
+  LogDistanceLossModel probe(3.0);
+  const double radius =
+      probe.MaxRangeMeters(config.tx_power_dbm, TimingFor(config.standard).frequency_hz, cutoff);
+  ASSERT_TRUE(std::isfinite(radius));
+
+  std::vector<Offer> streams[2];
+  for (const bool spatial : {false, true}) {
+    Simulator sim;
+    Channel channel{&sim, std::make_unique<LogDistanceLossModel>(3.0), Rng(1)};
+    channel.SetRxCutoffDbm(cutoff);
+    channel.EnableSpatialIndex(spatial);
+    std::vector<Offer>& offers = streams[spatial ? 1 : 0];
+    channel.SetSendProbe([&offers](const WifiPhy* tx, const WifiPhy* rx, double dbm, Time d) {
+      offers.emplace_back(tx->node_id(), rx->node_id(), dbm, d.seconds());
+    });
+    ConstantPositionMobility pos_a{{0, 0, 0}};
+    ConstantPositionMobility pos_b{{radius, 0, 0}};          // the knife edge
+    ConstantPositionMobility pos_c{{radius * 1.0001, 0, 0}};  // just beyond
+    WifiPhy a{&sim, config, Rng(2)};
+    WifiPhy b{&sim, config, Rng(3)};
+    WifiPhy c{&sim, config, Rng(4)};
+    a.AttachChannel(&channel, 0, &pos_a);
+    b.AttachChannel(&channel, 1, &pos_b);
+    c.AttachChannel(&channel, 2, &pos_c);
+    const Packet p(100);
+    channel.Send(&a, p, ModesFor(PhyStandard::k80211b).back(), false);
+    sim.RunUntil(Time::Seconds(1));
+  }
+  EXPECT_EQ(streams[0], streams[1]);
+}
+
+// Moving nodes live on the bypass list: a mover is offered the frame
+// whenever its instantaneous power clears the cutoff, wherever it is — the
+// grid never consults cells for it.
+TEST(SpatialIndex, MovingReceiverBypassesGrid) {
+  Simulator sim;
+  Channel channel{&sim, std::make_unique<LogDistanceLossModel>(3.0), Rng(1)};
+  channel.SetRxCutoffDbm(-80.0);  // range ~=~ 21 m
+  channel.EnableSpatialIndex(true);
+  ConstantPositionMobility pos_a{{0, 0, 0}};
+  ConstantPositionMobility pos_b{{10, 0, 0}};
+  // Starts 1 km out, drives through the sender at 100 m/s.
+  ConstantVelocityMobility mover{{1000, 0, 0}, {-100, 0, 0}};
+  WifiPhy a{&sim, {}, Rng(2)};
+  WifiPhy b{&sim, {}, Rng(3)};
+  WifiPhy m{&sim, {}, Rng(4)};
+  a.AttachChannel(&channel, 0, &pos_a);
+  b.AttachChannel(&channel, 1, &pos_b);
+  m.AttachChannel(&channel, 2, &mover);
+
+  const Packet p(100);
+  const WifiMode mode = ModesFor(PhyStandard::k80211b).back();
+  uint64_t offers_at_start = 0;
+  uint64_t offers_at_passby = 0;
+  sim.Schedule(Time::Zero(), [&] {
+    channel.Send(&a, p, mode, false);  // mover 1 km out: suppressed
+    offers_at_start = channel.send_stats().offers;
+  });
+  sim.Schedule(Time::Seconds(10), [&] {
+    channel.Send(&a, p, mode, false);  // mover at the origin: delivered
+    offers_at_passby = channel.send_stats().offers;
+  });
+  sim.RunUntil(Time::Seconds(11));
+
+  EXPECT_EQ(offers_at_start, 1u);               // b only
+  EXPECT_EQ(offers_at_passby, offers_at_start + 2u);  // b and the mover
+  // One grid build covers both sends: the mover's motion must not count as
+  // a topology change.
+  EXPECT_EQ(channel.send_stats().grid_rebuilds, 1u);
+}
+
+// The CI A/B override: the channel reads WLANSIM_SPATIAL_INDEX and
+// WLANSIM_RX_CUTOFF_DBM at construction, so an unmodified scenario binary
+// can be flipped onto the indexed path from the outside. Programmatic
+// setters still win afterwards.
+TEST(SpatialIndex, EnvironmentOverridesAreReadAtConstruction) {
+  ASSERT_EQ(setenv("WLANSIM_SPATIAL_INDEX", "1", 1), 0);
+  ASSERT_EQ(setenv("WLANSIM_RX_CUTOFF_DBM", "-123.5", 1), 0);
+  {
+    Simulator sim;
+    Channel channel{&sim, std::make_unique<LogDistanceLossModel>(3.0), Rng(1)};
+    EXPECT_TRUE(channel.spatial_index_enabled());
+    EXPECT_DOUBLE_EQ(channel.rx_cutoff_dbm(), -123.5);
+    channel.EnableSpatialIndex(false);
+    EXPECT_FALSE(channel.spatial_index_enabled());
+  }
+  ASSERT_EQ(unsetenv("WLANSIM_SPATIAL_INDEX"), 0);
+  ASSERT_EQ(unsetenv("WLANSIM_RX_CUTOFF_DBM"), 0);
+  Simulator sim;
+  Channel channel{&sim, std::make_unique<LogDistanceLossModel>(3.0), Rng(1)};
+  EXPECT_FALSE(channel.spatial_index_enabled());
+  EXPECT_EQ(channel.rx_cutoff_dbm(), -std::numeric_limits<double>::infinity());
+}
+
+}  // namespace
+}  // namespace wlansim
