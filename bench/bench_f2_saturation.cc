@@ -1,11 +1,19 @@
-// F2 — DCF saturation throughput vs number of stations (Bianchi's figure).
+// F2 — DCF saturation throughput vs number of stations (Bianchi's figure),
+// on the in-tree perf harness.
 //
 // n backlogged stations, basic access vs RTS/CTS, for 802.11b @ 11 Mb/s and
-// 802.11a @ 54 Mb/s. Expected shape: aggregate throughput decays slowly as n
-// grows (collision cost); RTS/CTS is flatter in n and overtakes basic access
-// once collisions are expensive (large payloads, many stations).
+// 802.11a @ 54 Mb/s, each simulated point set beside the analytic Bianchi
+// prediction for the same configuration. Expected shape: aggregate
+// throughput decays slowly as n grows (collision cost); RTS/CTS is flatter
+// in n and overtakes basic access once collisions are expensive (large
+// payloads, many stations).
+//
+// The harness times each whole-simulation point (items = MPDUs delivered,
+// so items/s gauges simulator speed); the figure table itself is printed
+// from the scenario results afterwards.
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "mac/frames.h"
@@ -13,9 +21,6 @@
 
 namespace wlansim {
 namespace {
-
-Table g_table({"standard", "n_stas", "access", "agg_goodput_mbps", "bianchi_mbps",
-               "retry_rate_%", "mean_delay_ms"});
 
 // Analytic Bianchi prediction for the same configuration.
 double AnalyticMbps(PhyStandard standard, uint32_t n, size_t payload, bool rtscts) {
@@ -39,57 +44,60 @@ double AnalyticMbps(PhyStandard standard, uint32_t n, size_t payload, bool rtsct
 }
 
 const size_t kStaCounts[] = {1, 2, 5, 10, 20, 35};
+constexpr size_t kPayload = 1500;
 
-void Run(benchmark::State& state, PhyStandard standard, bool rtscts) {
-  const size_t n = kStaCounts[state.range(0)];
-  SaturationParams p;
-  p.standard = standard;
-  p.n_stas = n;
-  p.payload = 1500;
-  p.distance = 10.0;
-  p.rts_threshold = rtscts ? 400 : 65535;
-  p.sim_time = Time::Seconds(5);
-  p.seed = 100 + n;
-  RunResult r{};
-  for (auto _ : state) {
-    r = RunSaturationScenario(p);
+int Run(int argc, char** argv) {
+  PerfArgs args = ParsePerfArgs(argc, argv, "bench_f2_saturation", /*default_reps=*/1);
+  if (!args.ok) {
+    return 1;
   }
-  const double retry_rate =
-      r.tx_attempts ? 100.0 * static_cast<double>(r.retries) / static_cast<double>(r.tx_attempts)
-                    : 0.0;
-  state.counters["goodput_mbps"] = r.goodput_mbps;
-  state.counters["retry_pct"] = retry_rate;
-  g_table.AddRow({ToString(standard), std::to_string(n), rtscts ? "rts/cts" : "basic",
-                  Table::Num(r.goodput_mbps, 2),
-                  Table::Num(AnalyticMbps(standard, static_cast<uint32_t>(n), p.payload, rtscts), 2),
-                  Table::Num(retry_rate, 1), Table::Num(r.mean_delay_ms, 1)});
-}
+  args.warmup = false;  // one rep of a deterministic simulation needs no cache warming
 
-void BM_Dcf11bBasic(benchmark::State& state) {
-  Run(state, PhyStandard::k80211b, false);
+  PerfHarness harness("F2: DCF saturation harness (items = delivered MPDUs)", args);
+  Table table({"standard", "n_stas", "access", "agg_goodput_mbps", "bianchi_mbps",
+               "retry_rate_%", "mean_delay_ms"});
+  for (const PhyStandard standard : {PhyStandard::k80211b, PhyStandard::k80211a}) {
+    for (const bool rtscts : {false, true}) {
+      for (const size_t n : kStaCounts) {
+        const std::string name = std::string(ToString(standard)) +
+                                 (rtscts ? "/rtscts/n=" : "/basic/n=") + std::to_string(n);
+        if (!args.filter.empty() && name.find(args.filter) == std::string::npos) {
+          continue;  // keep the figure table aligned with the benches that ran
+        }
+        RunResult r{};
+        harness.Bench(name, [standard, rtscts, n, &r] {
+          SaturationParams p;
+          p.standard = standard;
+          p.n_stas = n;
+          p.payload = kPayload;
+          p.distance = 10.0;
+          p.rts_threshold = rtscts ? 400 : 65535;
+          p.sim_time = Time::Seconds(5);
+          p.seed = 100 + n;
+          r = RunSaturationScenario(p);
+          return r.rx_ok;
+        });
+        const double retry_rate =
+            r.tx_attempts
+                ? 100.0 * static_cast<double>(r.retries) / static_cast<double>(r.tx_attempts)
+                : 0.0;
+        table.AddRow(
+            {ToString(standard), std::to_string(n), rtscts ? "rts/cts" : "basic",
+             Table::Num(r.goodput_mbps, 2),
+             Table::Num(AnalyticMbps(standard, static_cast<uint32_t>(n), kPayload, rtscts), 2),
+             Table::Num(retry_rate, 1), Table::Num(r.mean_delay_ms, 1)});
+      }
+    }
+  }
+  const int rc = harness.Finish();
+  std::printf("=== F2: DCF saturation throughput vs station count (1500 B) ===\n%s\n",
+              table.ToString().c_str());
+  return rc;
 }
-void BM_Dcf11bRtsCts(benchmark::State& state) {
-  Run(state, PhyStandard::k80211b, true);
-}
-void BM_Dcf11aBasic(benchmark::State& state) {
-  Run(state, PhyStandard::k80211a, false);
-}
-void BM_Dcf11aRtsCts(benchmark::State& state) {
-  Run(state, PhyStandard::k80211a, true);
-}
-
-BENCHMARK(BM_Dcf11bBasic)->DenseRange(0, 5)->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Dcf11bRtsCts)->DenseRange(0, 5)->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Dcf11aBasic)->DenseRange(0, 5)->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Dcf11aRtsCts)->DenseRange(0, 5)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace wlansim
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  wlansim::PrintTable("F2: DCF saturation throughput vs station count (1500 B)",
-                      wlansim::g_table, argc, argv);
-  return 0;
+  return wlansim::Run(argc, argv);
 }

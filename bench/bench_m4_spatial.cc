@@ -80,7 +80,9 @@ struct City {
     for (size_t k = 0; k < kSendsPerBatch; ++k) {
       WifiPhy* sender = phys[(k * 2654435761u) % phys.size()].get();
       sim.Schedule(start + Time::Millis(2 * static_cast<int64_t>(k + 1)) - sim.Now(),
-                   [this, sender, packet, mode] { channel.Send(sender, packet, mode, false); });
+                   [this, sender, packet, mode] {
+                     channel.Send(sender, packet, MakeWifiSignal(mode, packet.size(), false));
+                   });
     }
     sim.RunUntil(start + Time::Millis(2 * (kSendsPerBatch + 2)));
     return kSendsPerBatch;
@@ -100,13 +102,14 @@ struct OfferTrace {
 
 OfferTrace TraceBatch(City& city) {
   OfferTrace trace;
-  city.channel.SetSendProbe([&trace](const WifiPhy*, const WifiPhy*, double rx_dbm, Time delay) {
-    ++trace.offers;
-    trace.power_sum += rx_dbm;
-    trace.delay_sum += delay.seconds();
-  });
+  city.channel.AttachProbe(
+      [&trace](const RadioDevice*, const RadioDevice*, double rx_dbm, Time delay) {
+        ++trace.offers;
+        trace.power_sum += rx_dbm;
+        trace.delay_sum += delay.seconds();
+      });
   city.RunBatch();
-  city.channel.SetSendProbe(nullptr);
+  city.channel.AttachProbe(nullptr);
   return trace;
 }
 

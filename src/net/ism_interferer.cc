@@ -3,17 +3,10 @@
 namespace wlansim {
 namespace {
 
-WifiPhy::Config OvenPhyConfig(const MicrowaveOven::Config& config) {
-  WifiPhy::Config phy;
-  phy.standard = PhyStandard::k80211b;  // 2.4 GHz band timing/frequency
-  phy.tx_power_dbm = config.tx_power_dbm;
-  phy.channel_number = config.channel_number;
-  phy.transmissions_undecodable = true;
-  return phy;
-}
-
-// Burst length is set by sending a "frame" whose airtime equals on_time at
-// 1 Mb/s: bytes = on_time * 1 Mb/s / 8 minus the 192 us PLCP.
+// Burst length mirrors the pre-seam implementation, which sent a "frame"
+// whose airtime equals on_time at 1 Mb/s: bytes = on_time * 1 Mb/s / 8
+// minus the 192 us PLCP. Keeping the arithmetic keeps burst airtimes (and
+// therefore every ism_interference output) identical.
 size_t BurstBytes(Time on_time) {
   const double payload_us = on_time.micros() - 192.0;
   return payload_us > 0 ? static_cast<size_t>(payload_us / 8.0) : 1;
@@ -23,11 +16,22 @@ size_t BurstBytes(Time on_time) {
 
 MicrowaveOven::MicrowaveOven(Simulator* sim, Channel* channel, uint32_t node_id,
                              const Config& config)
-    : sim_(sim),
-      config_(config),
-      mobility_(config.position),
-      phy_(sim, OvenPhyConfig(config), Rng(node_id * 7919 + 13)) {
-  phy_.AttachChannel(channel, node_id, &mobility_);
+    : sim_(sim), config_(config), node_id_(node_id), mobility_(config.position) {
+  channel->Attach(this);
+}
+
+RadioCapabilities MicrowaveOven::capabilities() const {
+  RadioCapabilities caps;
+  caps.technology = "microwave-oven";
+  caps.protocol = RadioProtocol::kNoise;
+  caps.tx_power_dbm = config_.tx_power_dbm;
+  caps.frequency_hz = 2.412e9;  // 2.4 GHz ISM band, as the old WifiPhy reported
+  caps.can_receive = false;
+  return caps;
+}
+
+void MicrowaveOven::Deliver(Packet, const SignalParams&, double) {
+  // Unreachable: can_receive = false means the channel never offers to us.
 }
 
 void MicrowaveOven::Start(Time at) {
@@ -39,8 +43,15 @@ void MicrowaveOven::EmitBurst() {
     return;
   }
   ++bursts_;
+  // Construct the burst packet exactly as before so the global packet uid
+  // sequence — shared with the WiFi nodes — is unchanged by the port.
   Packet burst(BurstBytes(config_.on_time));
-  phy_.StartTx(std::move(burst), BaseModeFor(PhyStandard::k80211b));
+  SignalParams sig;
+  sig.mode = BaseModeFor(PhyStandard::k80211b);
+  sig.decodable = false;
+  sig.protocol = RadioProtocol::kNoise;
+  sig.duration = FrameDuration(sig.mode, burst.size(), /*short_preamble=*/false);
+  channel()->Send(this, burst, sig);
   sim_->Schedule(config_.on_time + config_.off_time, [this] { EmitBurst(); });
 }
 

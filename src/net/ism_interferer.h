@@ -7,6 +7,11 @@
 // magnetron runs. This module emits such bursts through the normal channel
 // as undecodable energy, so CCA defers and overlapping receptions degrade
 // exactly as with any interference.
+//
+// The oven is a transmit-only RadioDevice (protocol kNoise,
+// can_receive = false): the channel never offers arrivals to it, so a
+// cooking oven costs one Send per burst and nothing else. Before the radio
+// seam it carried a full WifiPhy just to reach Channel::Send.
 
 #ifndef WLANSIM_NET_ISM_INTERFERER_H_
 #define WLANSIM_NET_ISM_INTERFERER_H_
@@ -14,11 +19,11 @@
 #include "core/simulator.h"
 #include "phy/channel.h"
 #include "phy/mobility.h"
-#include "phy/wifi_phy.h"
+#include "phy/radio_device.h"
 
 namespace wlansim {
 
-class MicrowaveOven {
+class MicrowaveOven : public RadioDevice {
  public:
   struct Config {
     Vector3 position{};
@@ -36,13 +41,20 @@ class MicrowaveOven {
 
   uint64_t bursts_emitted() const { return bursts_; }
 
+  // RadioDevice ops.
+  RadioCapabilities capabilities() const override;
+  uint8_t channel_number() const override { return config_.channel_number; }
+  MobilityModel* mobility() const override { return &mobility_; }
+  uint32_t node_id() const override { return node_id_; }
+  void Deliver(Packet packet, const SignalParams& signal, double rx_power_dbm) override;
+
  private:
   void EmitBurst();
 
   Simulator* sim_;
   Config config_;
-  ConstantPositionMobility mobility_;
-  WifiPhy phy_;
+  uint32_t node_id_;
+  mutable ConstantPositionMobility mobility_;
   Time stop_at_ = Time::Max();
   uint64_t bursts_ = 0;
 };

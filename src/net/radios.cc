@@ -1,0 +1,195 @@
+#include "net/radios.h"
+
+#include <cmath>
+
+#include "core/units.h"
+
+namespace wlansim {
+namespace {
+
+// 802.15.4 O-QPSK PHY constants (2.4 GHz band).
+constexpr double kSensorBitRate = 250e3;
+constexpr double kSensorChannelWidthHz = 2e6;
+// aUnitBackoffPeriod = 20 symbols at 62.5 ksym/s.
+const Time kUnitBackoff = Time::Micros(320);
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SensorRadio
+
+SensorRadio::SensorRadio(Simulator* sim, Channel* channel, uint32_t node_id,
+                         const Config& config)
+    : sim_(sim),
+      config_(config),
+      node_id_(node_id),
+      mobility_(config.position),
+      rng_(node_id * 7919 + 211),
+      noise_w_(ThermalNoiseW(kSensorChannelWidthHz, config.noise_figure_db)) {
+  channel->Attach(this);
+}
+
+Time SensorRadio::FrameAirtime(size_t payload_bytes) {
+  // SHR (4-byte preamble + 1-byte SFD) + 1-byte PHR = 6 bytes of overhead,
+  // all at the base rate: 192 us + payload.
+  const double payload_us = static_cast<double>(payload_bytes) * 8.0 / kSensorBitRate * 1e6;
+  return Time::Micros(192 + static_cast<int64_t>(payload_us));
+}
+
+RadioCapabilities SensorRadio::capabilities() const {
+  RadioCapabilities caps;
+  caps.technology = "sensor-802154";
+  caps.protocol = RadioProtocol::kIeee802154;
+  caps.tx_power_dbm = config_.tx_power_dbm;
+  caps.frequency_hz = 2.412e9;  // 2.4 GHz ISM band, shared with the WiFi BSS
+  caps.rx_sensitivity_dbm = config_.rx_sensitivity_dbm;
+  caps.can_receive = true;
+  return caps;
+}
+
+void SensorRadio::StartReporting(Time start, Time interval) {
+  report_interval_ = interval;
+  // Random phase inside one interval de-synchronizes a cluster of sensors
+  // booted at the same instant.
+  const Time phase = Time::Micros(
+      static_cast<int64_t>(rng_.Uniform(0.0, static_cast<double>(interval.micros()))));
+  sim_->ScheduleAt(start + phase, [this] { AttemptReport(0); });
+}
+
+void SensorRadio::AttemptReport(uint8_t backoffs_used) {
+  const Time now = sim_->Now();
+  const double busy_w = interference_.TotalPowerW(now);
+  if (busy_w >= DbmToW(config_.cca_threshold_dbm) || now < tx_until_ ||
+      current_rx_.has_value()) {
+    if (backoffs_used >= config_.max_csma_backoffs) {
+      ++counters_.csma_drops;
+      sim_->Schedule(report_interval_, [this] { AttemptReport(0); });
+      return;
+    }
+    // Unslotted CSMA/CA: random backoff in [0, 2^BE - 1] unit periods,
+    // BE growing from 3 toward 5.
+    ++counters_.csma_deferrals;
+    const int be = std::min(3 + backoffs_used, 5);
+    const int slots = static_cast<int>(rng_.Uniform(0.0, static_cast<double>(1 << be)));
+    sim_->Schedule(kUnitBackoff * (slots + 1),
+                   [this, next = static_cast<uint8_t>(backoffs_used + 1)] {
+                     AttemptReport(next);
+                   });
+    return;
+  }
+
+  ++counters_.reports_sent;
+  Packet report(config_.report_bytes);
+  SignalParams sig;
+  sig.protocol = RadioProtocol::kIeee802154;
+  sig.decodable = true;
+  sig.duration = FrameAirtime(report.size());
+  tx_until_ = now + sig.duration;
+  channel()->Send(this, report, sig);
+  sim_->Schedule(report_interval_, [this] { AttemptReport(0); });
+}
+
+void SensorRadio::Deliver(Packet, const SignalParams& signal, double rx_power_dbm) {
+  const Time now = sim_->Now();
+  // Every arrival is energy first — foreign-protocol signals (WiFi frames,
+  // LoRa chirps, oven bursts) degrade in-flight receptions and hold CCA
+  // busy exactly like a co-technology frame would.
+  const uint64_t signal_id =
+      interference_.AddSignal(now, now + signal.duration, DbmToW(rx_power_dbm));
+  if (signal.protocol != RadioProtocol::kIeee802154 || !signal.decodable) {
+    return;
+  }
+  if (rx_power_dbm < config_.rx_sensitivity_dbm) {
+    ++counters_.rx_below_sensitivity;
+    return;
+  }
+  if (now < tx_until_ || current_rx_.has_value()) {
+    ++counters_.rx_dropped_busy;
+    return;
+  }
+  current_rx_ = Reception{signal_id, now, now + signal.duration};
+  interference_.PinSignal(signal_id);
+  sim_->Schedule(signal.duration, [this] { EndReception(); });
+}
+
+void SensorRadio::EndReception() {
+  Reception rx = *current_rx_;
+  current_rx_.reset();
+
+  // SINR over the whole frame; the plan's modes are irrelevant to MeanSinr
+  // (SINR is modulation-independent), only the window and noise matter.
+  InterferenceTracker::ReceptionPlan plan;
+  plan.signal_id = rx.signal_id;
+  plan.start = rx.start;
+  plan.payload_start = rx.start;
+  plan.end = rx.end;
+  plan.header_mode = BaseModeFor(PhyStandard::k80211b);
+  plan.payload_mode = plan.header_mode;
+  plan.header_bits = 0;
+  plan.payload_bits = 8 * config_.report_bytes;
+  plan.noise_w = noise_w_;
+  const double sinr = interference_.MeanSinr(plan);
+  interference_.UnpinSignal();
+
+  if (RatioToDb(sinr) >= config_.sinr_threshold_db) {
+    ++counters_.rx_ok;
+  } else {
+    ++counters_.rx_lost_sinr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LoraInterferer
+
+LoraInterferer::LoraInterferer(Simulator* sim, Channel* channel, uint32_t node_id,
+                               const Config& config)
+    : sim_(sim),
+      config_(config),
+      node_id_(node_id),
+      mobility_(config.position),
+      rng_(node_id * 7919 + 401) {
+  channel->Attach(this);
+}
+
+Time LoraInterferer::Period() const {
+  const double duty = std::max(config_.duty_pct, 0.01) / 100.0;
+  return Time::Micros(static_cast<int64_t>(config_.airtime.micros() / duty));
+}
+
+RadioCapabilities LoraInterferer::capabilities() const {
+  RadioCapabilities caps;
+  caps.technology = "lora";
+  caps.protocol = RadioProtocol::kLora;
+  caps.tx_power_dbm = config_.tx_power_dbm;
+  caps.frequency_hz = 2.412e9;  // 2.4 GHz LoRa (SX128x family)
+  caps.can_receive = false;
+  return caps;
+}
+
+void LoraInterferer::Deliver(Packet, const SignalParams&, double) {
+  // Unreachable: can_receive = false means the channel never offers to us.
+}
+
+void LoraInterferer::Start(Time at) {
+  const Time phase = Time::Micros(
+      static_cast<int64_t>(rng_.Uniform(0.0, static_cast<double>(Period().micros()))));
+  sim_->ScheduleAt(at + phase, [this] { EmitChirp(); });
+}
+
+void LoraInterferer::EmitChirp() {
+  if (sim_->Now() >= stop_at_) {
+    return;
+  }
+  ++chirps_;
+  // Chirp payload size is cosmetic (nothing here demodulates LoRa); the
+  // airtime is the authoritative on-air description.
+  Packet chirp(32);
+  SignalParams sig;
+  sig.protocol = RadioProtocol::kLora;
+  sig.decodable = true;
+  sig.duration = config_.airtime;
+  channel()->Send(this, chirp, sig);
+  sim_->Schedule(Period(), [this] { EmitChirp(); });
+}
+
+}  // namespace wlansim

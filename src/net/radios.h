@@ -1,0 +1,147 @@
+// Non-WiFi RadioDevice implementations for heterogeneous coexistence
+// scenarios: an 802.15.4-style narrowband sensor radio and a duty-cycled
+// LoRa-like interferer. Both talk to the medium exclusively through the
+// radio-ops seam (phy/radio_device.h) — no WifiPhy anywhere — which is the
+// point: a new radio technology is this file plus a builder registration.
+//
+// Fidelity level: these model the coexistence-relevant behaviour (airtime,
+// power, CSMA deferral, SINR-gated delivery), not the full protocol stacks.
+// The sensor radio is one-hop unacknowledged reporting — 802.15.4
+// unslotted CSMA/CA with the standard's timing constants, no MAC retries.
+// The LoRa-like device is transmit-only: real LoRa demodulates below the
+// noise floor of anything here, so within this simulator its only role is
+// the long-airtime narrowband duty cycle it imposes on the band.
+
+#ifndef WLANSIM_NET_RADIOS_H_
+#define WLANSIM_NET_RADIOS_H_
+
+#include <optional>
+
+#include "core/packet.h"
+#include "core/random.h"
+#include "core/simulator.h"
+#include "phy/channel.h"
+#include "phy/interference.h"
+#include "phy/mobility.h"
+#include "phy/radio_device.h"
+
+namespace wlansim {
+
+// O-QPSK 250 kb/s narrowband sensor radio, in the 802.15.4 mould: periodic
+// fixed-size reports, unslotted CSMA/CA (energy detect, random backoff, a
+// bounded number of attempts), and SINR-gated reception at every listening
+// sensor. A sensor is both transmitter and receiver; scenarios typically
+// point a cluster of reporters at one silent sink.
+class SensorRadio : public RadioDevice {
+ public:
+  struct Config {
+    Vector3 position{};
+    double tx_power_dbm = 0.0;           // typical 802.15.4 output
+    double rx_sensitivity_dbm = -85.0;   // standard's minimum receiver sensitivity
+    double cca_threshold_dbm = -75.0;    // energy-detect (sensitivity + 10 dB)
+    double sinr_threshold_db = 2.0;      // payload survives above this mean SINR
+    double noise_figure_db = 10.0;
+    uint8_t channel_number = 1;
+    size_t report_bytes = 32;            // MAC payload per report
+    uint8_t max_csma_backoffs = 4;       // macMaxCSMABackoffs
+  };
+
+  SensorRadio(Simulator* sim, Channel* channel, uint32_t node_id, const Config& config);
+
+  // Begins periodic reporting at `start` (plus a small per-node random
+  // phase), one report every `interval`. A sensor that never starts
+  // reporting is a pure sink.
+  void StartReporting(Time start, Time interval);
+
+  struct Counters {
+    uint64_t reports_sent = 0;       // frames that made it onto the air
+    uint64_t csma_deferrals = 0;     // backoffs taken before an attempt
+    uint64_t csma_drops = 0;         // reports abandoned after max backoffs
+    uint64_t rx_ok = 0;              // frames received above the SINR gate
+    uint64_t rx_lost_sinr = 0;       // locked but degraded below the gate
+    uint64_t rx_dropped_busy = 0;    // arrived while transmitting or locked
+    uint64_t rx_below_sensitivity = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  // RadioDevice ops.
+  RadioCapabilities capabilities() const override;
+  uint8_t channel_number() const override { return config_.channel_number; }
+  MobilityModel* mobility() const override { return &mobility_; }
+  uint32_t node_id() const override { return node_id_; }
+  void Deliver(Packet packet, const SignalParams& signal, double rx_power_dbm) override;
+
+  // Airtime of an 802.15.4 frame carrying `payload_bytes`: 6-byte
+  // SHR + PHR (192 us) plus the payload at 250 kb/s.
+  static Time FrameAirtime(size_t payload_bytes);
+
+ private:
+  void AttemptReport(uint8_t backoffs_used);
+  void EndReception();
+
+  Simulator* sim_;
+  Config config_;
+  uint32_t node_id_;
+  mutable ConstantPositionMobility mobility_;
+  Rng rng_;
+  InterferenceTracker interference_;
+  double noise_w_;
+  Time report_interval_;
+  Time tx_until_;  // half-duplex: deaf to frames while on the air
+
+  struct Reception {
+    uint64_t signal_id;
+    Time start;
+    Time end;
+  };
+  std::optional<Reception> current_rx_;
+
+  Counters counters_;
+};
+
+// Duty-cycled LoRa-like narrowband interferer: long fixed airtimes (chirp
+// frames are 100x an 802.11 frame) at a configured duty cycle, transmit
+// only. Everyone else on the channel sees each chirp as opaque energy for
+// its full airtime — the coexistence pain is the duty cycle itself.
+class LoraInterferer : public RadioDevice {
+ public:
+  struct Config {
+    Vector3 position{};
+    double tx_power_dbm = 14.0;         // typical LoRa output
+    uint8_t channel_number = 1;
+    Time airtime = Time::Millis(60);    // one chirp frame on the air
+    double duty_pct = 1.0;              // on-air share; period = airtime / duty
+  };
+
+  LoraInterferer(Simulator* sim, Channel* channel, uint32_t node_id, const Config& config);
+
+  // Starts chirping at `at` plus a per-node random phase inside one period.
+  void Start(Time at);
+  void Stop(Time at) { stop_at_ = at; }
+
+  uint64_t chirps_emitted() const { return chirps_; }
+  Time Period() const;
+
+  // RadioDevice ops (transmit-only: can_receive = false, Deliver is never
+  // called).
+  RadioCapabilities capabilities() const override;
+  uint8_t channel_number() const override { return config_.channel_number; }
+  MobilityModel* mobility() const override { return &mobility_; }
+  uint32_t node_id() const override { return node_id_; }
+  void Deliver(Packet packet, const SignalParams& signal, double rx_power_dbm) override;
+
+ private:
+  void EmitChirp();
+
+  Simulator* sim_;
+  Config config_;
+  uint32_t node_id_;
+  mutable ConstantPositionMobility mobility_;
+  Rng rng_;
+  Time stop_at_ = Time::Max();
+  uint64_t chirps_ = 0;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_NET_RADIOS_H_

@@ -4,11 +4,11 @@
 #include <cassert>
 #include <cmath>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "core/units.h"
 #include "phy/mobility.h"
 #include "phy/propagation.h"
-#include "phy/wifi_phy.h"
 
 namespace wlansim {
 
@@ -22,39 +22,46 @@ Channel::Channel(Simulator* sim, std::unique_ptr<PropagationLossModel> loss, Rng
   }
 }
 
-void Channel::Attach(WifiPhy* phy) {
-  phy_index_.InsertOrAssign(reinterpret_cast<uintptr_t>(phy),
-                            static_cast<uint32_t>(phys_.size()));
-  phys_.push_back(phy);
-  if (phy->mobility() != nullptr) {
-    phy->mobility()->RegisterMutationCounter(&topology_generation_);
+void Channel::Attach(RadioDevice* device) {
+  if (device_index_.Find(reinterpret_cast<uintptr_t>(device)) != nullptr) {
+    throw std::invalid_argument("Channel::Attach: device already attached");
+  }
+  device_index_.InsertOrAssign(reinterpret_cast<uintptr_t>(device),
+                               static_cast<uint32_t>(devices_.size()));
+  devices_.push_back(device);
+  device_can_rx_.push_back(device->capabilities().can_receive ? 1 : 0);
+  device->channel_ = this;
+  if (device->mobility() != nullptr) {
+    device->mobility()->RegisterMutationCounter(&topology_generation_);
   }
   ++topology_generation_;
 }
 
-void Channel::OnMobilityReplaced(WifiPhy* phy) {
-  if (phy->mobility() != nullptr) {
-    phy->mobility()->RegisterMutationCounter(&topology_generation_);
+void Channel::OnDeviceMobilityReplaced(RadioDevice* device) {
+  if (device->mobility() != nullptr) {
+    device->mobility()->RegisterMutationCounter(&topology_generation_);
   }
   ++topology_generation_;
 }
 
-void Channel::Send(WifiPhy* sender, const Packet& packet, const WifiMode& mode,
-                   bool short_preamble) {
+void Channel::Send(RadioDevice* sender, const Packet& packet, const SignalParams& signal) {
   ++send_stats_.sends;
 
   TxContext ctx;
   ctx.sender = sender;
   ctx.packet = &packet;
-  ctx.mode = &mode;
-  ctx.short_preamble = short_preamble;
+  ctx.signal = &signal;
   ctx.now = sim_->Now();
-  ctx.frequency = sender->timing().frequency_hz;
+  const RadioCapabilities caps = sender->capabilities();
+  ctx.tx_power_dbm = caps.tx_power_dbm;
+  ctx.frequency = caps.frequency_hz;
+  ctx.tx_channel_number = sender->channel_number();
+  ctx.tx_node_id = sender->node_id();
   ctx.tx_mobility = sender->mobility();
   ctx.tx_static = ctx.tx_mobility->IsStatic();
   ctx.tx_epoch = ctx.tx_mobility->PositionEpoch();
   ctx.loss_epoch = loss_->MutationEpoch();
-  const uint32_t* tx_index = phy_index_.Find(reinterpret_cast<uintptr_t>(sender));
+  const uint32_t* tx_index = device_index_.Find(reinterpret_cast<uintptr_t>(sender));
   assert(tx_index != nullptr);
   ctx.tx_index = *tx_index;
 
@@ -93,14 +100,15 @@ void Channel::Send(WifiPhy* sender, const Packet& packet, const WifiMode& mode,
     }
   }
 
-  for (size_t i = 0; i < phys_.size(); ++i) {
+  for (size_t i = 0; i < devices_.size(); ++i) {
     OfferTo(i, ctx);
   }
 }
 
 void Channel::OfferTo(size_t rx_index, TxContext& ctx) {
-  WifiPhy* rx = phys_[rx_index];
-  if (rx == ctx.sender || rx->channel_number() != ctx.sender->channel_number()) {
+  RadioDevice* rx = devices_[rx_index];
+  if (rx == ctx.sender || !device_can_rx_[rx_index] ||
+      rx->channel_number() != ctx.tx_channel_number) {
     return;
   }
   ++send_stats_.candidates_visited;
@@ -129,9 +137,8 @@ void Channel::OfferTo(size_t rx_index, TxContext& ctx) {
       ctx.tx_pos_known = true;
     }
     const Vector3 rx_pos = rx_mobility->PositionAt(ctx.now);
-    const uint64_t link_id = MatrixLossModel::MakeLinkId(ctx.sender->node_id(), rx->node_id());
-    rx_dbm = loss_->RxPowerDbm(ctx.sender->config().tx_power_dbm, ctx.tx_pos, rx_pos,
-                               ctx.frequency, link_id);
+    const uint64_t link_id = MatrixLossModel::MakeLinkId(ctx.tx_node_id, rx->node_id());
+    rx_dbm = loss_->RxPowerDbm(ctx.tx_power_dbm, ctx.tx_pos, rx_pos, ctx.frequency, link_id);
     delay = delay_model_.Delay(ctx.tx_pos, rx_pos);
     ++cache_stats_.misses;
     if (cacheable) {
@@ -157,13 +164,13 @@ void Channel::OfferTo(size_t rx_index, TxContext& ctx) {
     rx_dbm += RatioToDb(fading_->SampleGain(rng_));
   }
 
-  // Copy by value: each receiver owns an independent packet instance.
+  // Copy by value: each receiver owns an independent packet instance. The
+  // SignalParams ride along so the receive op sees the full on-air
+  // description (protocol, airtime, mode) with its per-receiver power.
   Packet copy = *ctx.packet;
-  const bool decodable = !ctx.sender->config().transmissions_undecodable;
-  WifiMode mode = *ctx.mode;
-  sim_->Schedule(delay, [rx, copy = std::move(copy), mode, short_preamble = ctx.short_preamble,
-                         rx_dbm, decodable]() mutable {
-    rx->StartRx(std::move(copy), mode, short_preamble, rx_dbm, decodable);
+  const SignalParams sig = *ctx.signal;
+  sim_->Schedule(delay, [rx, copy = std::move(copy), sig, rx_dbm]() mutable {
+    rx->Deliver(std::move(copy), sig, rx_dbm);
   });
 }
 
@@ -176,11 +183,12 @@ void Channel::RebuildGrid() {
   moving_.clear();
 
   double radius = 0.0;
-  for (const WifiPhy* phy : phys_) {
-    radius = std::max(radius, loss_->MaxRangeMeters(phy->config().tx_power_dbm,
-                                                    phy->timing().frequency_hz, rx_cutoff_dbm_));
+  for (const RadioDevice* dev : devices_) {
+    const RadioCapabilities caps = dev->capabilities();
+    radius = std::max(radius,
+                      loss_->MaxRangeMeters(caps.tx_power_dbm, caps.frequency_hz, rx_cutoff_dbm_));
   }
-  if (phys_.empty() || !std::isfinite(radius)) {
+  if (devices_.empty() || !std::isfinite(radius)) {
     // Unbounded radius (matrix/shadowing loss, or -inf cutoff): no cell
     // size can cover it, so Send stays on the dense loop.
     cell_size_ = 0.0;
@@ -192,8 +200,8 @@ void Channel::RebuildGrid() {
   cell_size_ = radius * 1.001 + 1.0;
 
   const Time now = sim_->Now();
-  for (uint32_t i = 0; i < phys_.size(); ++i) {
-    MobilityModel* mobility = phys_[i]->mobility();
+  for (uint32_t i = 0; i < devices_.size(); ++i) {
+    MobilityModel* mobility = devices_[i]->mobility();
     if (mobility == nullptr || !mobility->IsStatic()) {
       moving_.push_back(i);  // ascending by construction
       continue;

@@ -1,10 +1,12 @@
 // The shared radio medium.
 //
-// Connects every attached PHY; on each transmission it computes, per
+// Connects every attached RadioDevice (phy/radio_device.h — WifiPhy is one
+// implementation among several); on each transmission it computes, per
 // receiver, the propagation delay and received power (path loss model plus
-// an optional per-frame fading draw) and schedules the arrival. PHYs tuned
-// to different channel numbers do not hear each other (adjacent-channel
-// leakage is out of scope).
+// an optional per-frame fading draw) and schedules the arrival. Devices
+// tuned to different channel numbers do not hear each other
+// (adjacent-channel leakage is out of scope); devices of different radio
+// technologies on the same channel number hear each other as energy.
 //
 // Hot paths, in layers:
 //
@@ -18,11 +20,11 @@
 //    its epoch) invalidates its rows on the next lookup, with no explicit
 //    invalidation traffic. The cache holds only links that transmissions
 //    actually touch, so it stays proportional to the live working set, not
-//    to phys^2, and Attach is O(1).
+//    to devices^2, and Attach is O(1).
 //
 //  - Reception cutoff: SetRxCutoffDbm installs a channel-wide floor —
-//    a transmission whose pre-fading received power at a PHY is below the
-//    cutoff is not delivered at all (no frame, no CCA energy, no
+//    a transmission whose pre-fading received power at a device is below
+//    the cutoff is not delivered at all (no frame, no CCA energy, no
 //    interference contribution). This is a *semantic* of the channel,
 //    applied identically whether or not the spatial index is enabled; that
 //    identity is what makes the indexed path bit-exact. Default: -infinity
@@ -41,6 +43,12 @@
 //    order — so the per-receiver fading draws consume the channel RNG in
 //    exactly the same sequence and small-topology outputs stay
 //    byte-identical to the dense path.
+//
+// Registration is the attach contract described in radio_device.h: Attach
+// is the one entry point for devices (it indexes the device, registers its
+// mobility model with the topology counter, and installs the back-link that
+// powers RadioDevice::NotifyMobilityReplaced); AttachProbe is the one entry
+// point for delivery instrumentation.
 
 #ifndef WLANSIM_PHY_CHANNEL_H_
 #define WLANSIM_PHY_CHANNEL_H_
@@ -56,12 +64,12 @@
 #include "core/simulator.h"
 #include "phy/fading.h"
 #include "phy/propagation.h"
+#include "phy/radio_device.h"
 #include "phy/wifi_mode.h"
 
 namespace wlansim {
 
 class MobilityModel;
-class WifiPhy;
 
 class Channel {
  public:
@@ -76,10 +84,14 @@ class Channel {
   // cached). Setting it does not disturb the link cache.
   void SetFading(std::unique_ptr<FadingModel> fading) { fading_ = std::move(fading); }
 
-  void Attach(WifiPhy* phy);
+  // Registers `device` on this medium (the attach contract, see the header
+  // comment). Throws std::invalid_argument if the device is already
+  // attached. The device must outlive the channel's last Send.
+  void Attach(RadioDevice* device);
 
-  // Broadcasts `packet` from `sender`. Called by WifiPhy::StartTx.
-  void Send(WifiPhy* sender, const Packet& packet, const WifiMode& mode, bool short_preamble);
+  // Broadcasts `packet` from `sender` (which must be attached). Called by
+  // the transmit op of every RadioDevice implementation.
+  void Send(RadioDevice* sender, const Packet& packet, const SignalParams& signal);
 
   // Channel-wide reception floor in dBm (see the header comment). Applies
   // to the pre-fading received power; receivers exactly at the cutoff are
@@ -106,11 +118,6 @@ class Channel {
   // the loss model.
   void InvalidateLinkCache() { link_cache_.Clear(); }
 
-  // Called by WifiPhy::SetMobility when a node's mobility model instance is
-  // replaced mid-run: registers the index's generation counter on the new
-  // model and forces a grid rebuild on the next Send.
-  void OnMobilityReplaced(WifiPhy* phy);
-
   // Link-cache hit/miss counters (diagnostics and cache tests).
   struct CacheStats {
     uint64_t hits = 0;
@@ -131,15 +138,17 @@ class Channel {
   };
   const SendStats& send_stats() const { return send_stats_; }
 
-  // Test/trace hook: observes every scheduled delivery with its *pre-fading*
-  // received power and propagation delay (the deterministic link quantities
-  // the differential tests compare). Null by default; not a hot-path
-  // feature.
-  using SendProbe =
-      std::function<void(const WifiPhy* tx, const WifiPhy* rx, double rx_dbm, Time delay)>;
-  void SetSendProbe(SendProbe probe) { send_probe_ = std::move(probe); }
+  // Test/trace hook, attached through the same front door as devices:
+  // observes every scheduled delivery with its *pre-fading* received power
+  // and propagation delay (the deterministic link quantities the
+  // differential tests compare). Null detaches; not a hot-path feature.
+  using SendProbe = std::function<void(const RadioDevice* tx, const RadioDevice* rx,
+                                       double rx_dbm, Time delay)>;
+  void AttachProbe(SendProbe probe) { send_probe_ = std::move(probe); }
 
  private:
+  friend class RadioDevice;  // NotifyMobilityReplaced -> OnDeviceMobilityReplaced
+
   // One memoized (tx, rx) link. Valid while both endpoints still use the
   // same MobilityModel instances and neither position epoch nor the loss
   // model's mutation epoch has moved.
@@ -155,12 +164,14 @@ class Channel {
 
   // Per-Send state shared by every receiver visit.
   struct TxContext {
-    WifiPhy* sender = nullptr;
+    RadioDevice* sender = nullptr;
     const Packet* packet = nullptr;
-    const WifiMode* mode = nullptr;
-    bool short_preamble = false;
+    const SignalParams* signal = nullptr;
     Time now;
+    double tx_power_dbm = 0.0;
     double frequency = 0.0;
+    uint8_t tx_channel_number = 0;
+    uint32_t tx_node_id = 0;
     MobilityModel* tx_mobility = nullptr;
     bool tx_static = false;
     uint64_t tx_epoch = 0;
@@ -177,6 +188,11 @@ class Channel {
     return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
            static_cast<uint32_t>(cy);
   }
+
+  // Part of the attach contract, reached only through
+  // RadioDevice::NotifyMobilityReplaced(): re-registers the topology
+  // counter on the device's new mobility model and forces a grid rebuild.
+  void OnDeviceMobilityReplaced(RadioDevice* device);
 
   // The shared per-receiver body of Send: cache lookup or loss-model
   // computation, the cutoff check, the fading draw, and arrival scheduling.
@@ -197,19 +213,21 @@ class Channel {
   std::unique_ptr<FadingModel> fading_;
   ConstantSpeedDelayModel delay_model_;
   Rng rng_;
-  std::vector<WifiPhy*> phys_;
-  FlatHash64<uint32_t> phy_index_;      // WifiPhy* -> index into phys_
+  std::vector<RadioDevice*> devices_;
+  std::vector<uint8_t> device_can_rx_;  // capabilities().can_receive, cached at attach
+  FlatHash64<uint32_t> device_index_;   // RadioDevice* -> index into devices_
   FlatHash64<LinkState> link_cache_;    // keyed by LinkKey(tx, rx); sparse
   CacheStats cache_stats_;
 
   double rx_cutoff_dbm_ = -std::numeric_limits<double>::infinity();
   bool spatial_enabled_ = false;
 
-  // Spatial grid over static phys. cell_size_ <= 0 means "no usable grid"
-  // (unbounded radius or nothing attached): Send stays on the dense loop.
+  // Spatial grid over static devices. cell_size_ <= 0 means "no usable
+  // grid" (unbounded radius or nothing attached): Send stays on the dense
+  // loop.
   double cell_size_ = 0.0;
-  FlatHash64<std::vector<uint32_t>> grid_cells_;  // CellKey -> phy indices (ascending)
-  std::vector<uint32_t> moving_;                  // non-static phys, ascending
+  FlatHash64<std::vector<uint32_t>> grid_cells_;  // CellKey -> device indices (ascending)
+  std::vector<uint32_t> moving_;                  // non-static devices, ascending
   uint64_t topology_generation_ = 0;  // bumped by Attach/teleports/swaps/cutoff
   uint64_t grid_generation_ = 0;      // topology generation the grid was built at
   uint64_t grid_loss_epoch_ = 0;      // loss MutationEpoch at build

@@ -1,0 +1,24 @@
+#include "phy/radio_device.h"
+
+#include "phy/channel.h"
+
+namespace wlansim {
+
+SignalParams MakeWifiSignal(const WifiMode& mode, size_t bytes, bool short_preamble,
+                            bool decodable) {
+  SignalParams sig;
+  sig.mode = mode;
+  sig.short_preamble = short_preamble;
+  sig.decodable = decodable;
+  sig.protocol = RadioProtocol::kWifi80211;
+  sig.duration = FrameDuration(mode, bytes, short_preamble);
+  return sig;
+}
+
+void RadioDevice::NotifyMobilityReplaced() {
+  if (channel_ != nullptr) {
+    channel_->OnDeviceMobilityReplaced(this);
+  }
+}
+
+}  // namespace wlansim

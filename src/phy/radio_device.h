@@ -1,0 +1,131 @@
+// The radio-ops HAL: the seam between the shared Channel and any physical
+// emitter/receiver.
+//
+// Everything the channel does — the attach list, the per-link cache, the
+// spatial receiver grid, the per-transmission offer loop — is written
+// against this small vtable instead of a concrete PHY, in the spirit of the
+// RIOT 802.15.4 radio HAL (radio_ops): MAC logic talks to its own PHY,
+// the medium talks to RadioDevice, and a new radio technology is one small
+// subclass plus a builder registration instead of a bespoke subsystem.
+// WifiPhy is the first (and reference) implementation; net/radios.h holds
+// the non-WiFi ones (802.15.4-style sensors, LoRa-like duty-cycled
+// emitters, the microwave oven).
+//
+// The attach contract (one registration path):
+//  * Channel::Attach(device) is the only way onto a channel. It indexes the
+//    device, registers the device's mobility model with the channel's
+//    topology generation counter, and installs the channel back-link on the
+//    device. Attaching the same device twice throws.
+//  * A device that swaps its MobilityModel instance mid-run calls the
+//    inherited NotifyMobilityReplaced(); the channel re-registers the
+//    counter and invalidates position-derived state. No caller-side
+//    channel API is involved.
+//  * Instrumentation attaches through the same front door:
+//    Channel::AttachProbe observes every scheduled delivery.
+//
+// Signals on the air are described by SignalParams. The airtime `duration`
+// is explicit and authoritative — receivers never need the transmitter's
+// modulation tables to know how long the medium is occupied — which is what
+// lets radios of different technologies share one channel: a WiFi PHY
+// receiving a LoRa chirp sees opaque energy of the right duration, and vice
+// versa. `protocol` says which receivers can attempt to decode the frame at
+// all; `decodable` is the transmitter-side flag (false for pure-energy
+// emitters like the microwave oven, whatever their protocol).
+
+#ifndef WLANSIM_PHY_RADIO_DEVICE_H_
+#define WLANSIM_PHY_RADIO_DEVICE_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "core/packet.h"
+#include "core/time.h"
+#include "phy/wifi_mode.h"
+
+namespace wlansim {
+
+class Channel;
+class MobilityModel;
+
+// Which receiver family can decode a signal. Receivers treat any
+// non-matching protocol as pure energy (interference + CCA busy time).
+enum class RadioProtocol : uint8_t {
+  kWifi80211,   // IEEE 802.11 DSSS/OFDM frames
+  kNoise,       // never decodable: microwave ovens, broadband jammers
+  kIeee802154,  // narrowband O-QPSK sensor frames (802.15.4-style)
+  kLora,        // LoRa-like chirp frames
+};
+
+// Static descriptor of a radio, read by the channel at attach time and per
+// transmission. Values must not change over the device's lifetime (retuning
+// the channel *number* is dynamic state, exposed separately).
+struct RadioCapabilities {
+  const char* technology = "wifi";  // human-readable family name
+  RadioProtocol protocol = RadioProtocol::kWifi80211;
+  double tx_power_dbm = 16.0;
+  double frequency_hz = 2.412e9;  // carrier, for path loss
+  // Weakest signal the radio can detect at all; informational for
+  // transmit-only devices.
+  double rx_sensitivity_dbm = -std::numeric_limits<double>::infinity();
+  // Transmit-only emitters (jammers) set this false: the channel never
+  // offers arrivals to them, saving the fan-out entirely.
+  bool can_receive = true;
+};
+
+// Everything about an on-air signal except its per-receiver power: carried
+// by the channel from the transmit op to every receive op.
+struct SignalParams {
+  WifiMode mode = BaseModeFor(PhyStandard::k80211b);  // meaningful iff kWifi80211
+  bool short_preamble = false;
+  // Transmitter-side decodability: false turns the frame into pure energy
+  // even for protocol-matched receivers (WifiPhy's transmissions_undecodable).
+  bool decodable = true;
+  RadioProtocol protocol = RadioProtocol::kWifi80211;
+  Time duration;  // authoritative airtime
+};
+
+// The SignalParams of an 802.11 frame of `bytes` at `mode` (duration from
+// the standard's PLCP arithmetic).
+SignalParams MakeWifiSignal(const WifiMode& mode, size_t bytes, bool short_preamble,
+                            bool decodable = true);
+
+// The radio-ops vtable. One instance per emitter/receiver on a channel.
+class RadioDevice {
+ public:
+  virtual ~RadioDevice() = default;
+
+  // Capability descriptor op (immutable; see RadioCapabilities).
+  virtual RadioCapabilities capabilities() const = 0;
+
+  // Occupancy key: devices tuned to different channel numbers never hear
+  // each other. Dynamic — radios may retune mid-run.
+  virtual uint8_t channel_number() const = 0;
+
+  // Position op: the mobility model the channel samples at transmit time.
+  virtual MobilityModel* mobility() const = 0;
+
+  // Identity used by per-link loss models (MatrixLossModel link keys).
+  virtual uint32_t node_id() const = 0;
+
+  // Receive op: the channel delivers an arriving signal at its computed
+  // received power. Called only on devices whose capabilities allow
+  // reception; the receiver decides decodability from `signal.protocol`.
+  virtual void Deliver(Packet packet, const SignalParams& signal, double rx_power_dbm) = 0;
+
+  // The channel this device is attached to (nullptr before Attach).
+  Channel* channel() const { return channel_; }
+
+ protected:
+  // Part of the attach contract: subclasses call this after replacing their
+  // MobilityModel instance so the channel re-registers its topology counter
+  // and rebuilds position-derived state. No-op before Attach.
+  void NotifyMobilityReplaced();
+
+ private:
+  friend class Channel;  // sets channel_ in Attach
+  Channel* channel_ = nullptr;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_PHY_RADIO_DEVICE_H_

@@ -17,7 +17,8 @@ WifiPhy::WifiPhy(Simulator* sim, Config config, Rng rng)
                              config.noise_figure_db)) {}
 
 void WifiPhy::AttachChannel(Channel* channel, uint32_t node_id, MobilityModel* mobility) {
-  channel_ = channel;
+  // Identity and position must be in place before Attach: the channel reads
+  // mobility() and capabilities() while registering.
   node_id_ = node_id;
   mobility_ = mobility;
   channel->Attach(this);
@@ -25,9 +26,29 @@ void WifiPhy::AttachChannel(Channel* channel, uint32_t node_id, MobilityModel* m
 
 void WifiPhy::SetMobility(MobilityModel* mobility) {
   mobility_ = mobility;
-  if (channel_ != nullptr) {
-    channel_->OnMobilityReplaced(this);
+  NotifyMobilityReplaced();
+}
+
+RadioCapabilities WifiPhy::capabilities() const {
+  RadioCapabilities caps;
+  caps.technology = config_.transmissions_undecodable ? "ism-energy" : "wifi";
+  caps.protocol = RadioProtocol::kWifi80211;
+  caps.tx_power_dbm = config_.tx_power_dbm;
+  caps.frequency_hz = timing().frequency_hz;
+  caps.rx_sensitivity_dbm = config_.preamble_detect_dbm;
+  caps.can_receive = true;
+  return caps;
+}
+
+void WifiPhy::Deliver(Packet packet, const SignalParams& signal, double rx_power_dbm) {
+  if (signal.protocol != RadioProtocol::kWifi80211) {
+    // Foreign-technology signal: opaque energy for the signal's airtime.
+    const Time now = sim_->Now();
+    interference_.AddSignal(now, now + signal.duration, DbmToW(rx_power_dbm));
+    ReevaluateCca();
+    return;
   }
+  StartRx(std::move(packet), signal.mode, signal.short_preamble, rx_power_dbm, signal.decodable);
 }
 
 uint64_t WifiPhy::HeaderBits(const WifiMode& mode) {
@@ -105,7 +126,7 @@ void WifiPhy::SetSleep(bool sleep) {
 }
 
 void WifiPhy::StartTx(Packet packet, const WifiMode& mode) {
-  assert(channel_ != nullptr);
+  assert(channel() != nullptr);
   assert(state_ != State::kSleep && "MAC must wake the radio before transmitting");
   sleep_pending_ = false;
   const Time now = sim_->Now();
@@ -124,7 +145,9 @@ void WifiPhy::StartTx(Packet packet, const WifiMode& mode) {
   if (listener_ != nullptr) {
     listener_->NotifyTxStart(duration);
   }
-  channel_->Send(this, packet, mode, config_.short_preamble);
+  channel()->Send(this, packet,
+                  MakeWifiSignal(mode, packet.size(), config_.short_preamble,
+                                 !config_.transmissions_undecodable));
   sim_->Schedule(duration, [this] { EndTx(); });
 }
 

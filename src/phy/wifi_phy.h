@@ -22,6 +22,7 @@
 #include "phy/error_model.h"
 #include "phy/interference.h"
 #include "phy/mobility.h"
+#include "phy/radio_device.h"
 #include "phy/wifi_mode.h"
 
 namespace wlansim {
@@ -47,7 +48,10 @@ struct RxInfo {
   bool success = false;  // frame passed the PHY error model
 };
 
-class WifiPhy {
+// The reference RadioDevice implementation. The RadioDevice ops face the
+// channel; everything else (listener, receive callback, sleep, state
+// machine) is the MAC-facing API, unchanged by the radio seam.
+class WifiPhy : public RadioDevice {
  public:
   struct Config {
     PhyStandard standard = PhyStandard::k80211b;
@@ -102,13 +106,19 @@ class WifiPhy {
 
   // Retunes the radio (roaming/scanning). Any in-flight reception is lost.
   void SetChannelNumber(uint8_t number);
-  uint8_t channel_number() const { return config_.channel_number; }
+
+  // RadioDevice ops (the channel-facing surface).
+  RadioCapabilities capabilities() const override;
+  uint8_t channel_number() const override { return config_.channel_number; }
+  uint32_t node_id() const override { return node_id_; }
+  MobilityModel* mobility() const override { return mobility_; }
+  // Protocol-matched signals go through the 802.11 receive state machine
+  // (StartRx); anything else lands as interference energy only.
+  void Deliver(Packet packet, const SignalParams& signal, double rx_power_dbm) override;
 
   const Config& config() const { return config_; }
   PhyTiming timing() const { return TimingFor(config_.standard); }
   double noise_w() const { return noise_w_; }
-  uint32_t node_id() const { return node_id_; }
-  MobilityModel* mobility() const { return mobility_; }
 
   // Simple counters for diagnostics and tests.
   struct Counters {
@@ -182,7 +192,6 @@ class WifiPhy {
   Simulator* sim_;
   Config config_;
   Rng rng_;
-  Channel* channel_ = nullptr;
   uint32_t node_id_ = 0;
   MobilityModel* mobility_ = nullptr;
   PhyListener* listener_ = nullptr;

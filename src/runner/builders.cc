@@ -9,6 +9,7 @@
 
 #include "net/ism_interferer.h"
 #include "net/network.h"
+#include "net/radios.h"
 #include "rate/arf.h"
 #include "rate/minstrel.h"
 #include "rate/onoe.h"
@@ -416,6 +417,115 @@ RunResult RunIsmInterferenceScenario(const IsmParams& p) {
   r.retries = tx->mac().counters().retries;
   r.tx_attempts = tx->mac().counters().tx_data_attempts;
   r.rx_ok = rx->packets_received();
+  return r;
+}
+
+SensorCoexistenceResult RunSensorCoexistenceScenario(const SensorCoexistenceParams& p) {
+  Network net(Network::Params{.seed = p.seed});
+  net.UseLogDistanceLoss(3.0);
+
+  // The WiFi BSS: AP at the origin, saturated uplink stations on a circle.
+  Node* ap = net.AddNode({.role = MacRole::kAp, .standard = p.standard, .ssid = "coex"});
+  const WifiMode fixed = ModesFor(p.standard).back();
+  std::vector<Node*> stas;
+  for (size_t i = 0; i < p.n_stas; ++i) {
+    const double angle = 2.0 * kPi * static_cast<double>(i) /
+                         static_cast<double>(std::max<size_t>(p.n_stas, 1));
+    Node* sta = net.AddNode({.role = MacRole::kSta,
+                             .standard = p.standard,
+                             .ssid = "coex",
+                             .position = {p.sta_distance * std::cos(angle),
+                                          p.sta_distance * std::sin(angle), 0}});
+    sta->SetRateController(std::make_unique<FixedRateController>(fixed));
+    stas.push_back(sta);
+  }
+  net.StartAll();
+
+  // The sensor cluster: a silent sink offset from the AP, reporters on a
+  // circle around it. Node ids start at 200 to stay clear of the BSS.
+  SensorRadio::Config sink_cfg;
+  sink_cfg.position = {p.cluster_offset, 0, 0};
+  SensorRadio sink(&net.sim(), &net.channel(), 200, sink_cfg);
+  std::vector<std::unique_ptr<SensorRadio>> sensors;
+  for (size_t i = 0; i < p.n_sensors; ++i) {
+    const double angle = 2.0 * kPi * static_cast<double>(i) /
+                         static_cast<double>(std::max<size_t>(p.n_sensors, 1));
+    SensorRadio::Config sc;
+    sc.position = {p.cluster_offset + p.sensor_radius * std::cos(angle),
+                   p.sensor_radius * std::sin(angle), 0};
+    sensors.push_back(std::make_unique<SensorRadio>(&net.sim(), &net.channel(),
+                                                    static_cast<uint32_t>(201 + i), sc));
+    sensors.back()->StartReporting(p.warmup, p.report_interval);
+  }
+
+  std::unique_ptr<LoraInterferer> jammer;
+  if (p.with_jammer) {
+    LoraInterferer::Config jc;
+    jc.position = {p.cluster_offset, p.sensor_radius, 0};  // inside the cluster
+    jc.duty_pct = p.jammer_duty_pct;
+    jammer = std::make_unique<LoraInterferer>(&net.sim(), &net.channel(), 250, jc);
+    jammer->Start(p.warmup);
+  }
+
+  for (size_t i = 0; i < stas.size(); ++i) {
+    stas[i]
+        ->AddTraffic<SaturatedTraffic>(ap->address(), static_cast<uint32_t>(i + 1), p.payload)
+        ->Start(p.warmup);
+  }
+  net.Run(p.warmup + p.sim_time);
+
+  SensorCoexistenceResult r;
+  r.wifi.goodput_mbps = net.flow_stats().GoodputMbps();
+  r.wifi.loss_rate = net.flow_stats().LossRate();
+  r.wifi.mean_delay_ms = MeanDelayMs(net.flow_stats());
+  for (Node* sta : stas) {
+    r.wifi.retries += sta->mac().counters().retries;
+    r.wifi.tx_attempts += sta->mac().counters().tx_data_attempts;
+  }
+  r.wifi.rx_ok = ap->mac().counters().rx_data;
+  for (const auto& s : sensors) {
+    r.sensor_reports_sent += s->counters().reports_sent;
+    r.sensor_csma_deferrals += s->counters().csma_deferrals;
+    r.sensor_csma_drops += s->counters().csma_drops;
+  }
+  r.sensor_rx_ok = sink.counters().rx_ok;
+  r.sensor_rx_lost_sinr = sink.counters().rx_lost_sinr;
+  r.sensor_delivery_ratio =
+      r.sensor_reports_sent == 0
+          ? 0.0
+          : static_cast<double>(r.sensor_rx_ok) / static_cast<double>(r.sensor_reports_sent);
+  r.jammer_chirps = jammer ? jammer->chirps_emitted() : 0;
+  return r;
+}
+
+LoraCoexistenceResult RunLoraCoexistenceScenario(const LoraCoexistenceParams& p) {
+  Network net(Network::Params{.seed = p.seed});
+  net.UseLogDistanceLoss(3.0);
+  Node* rx = net.AddNode({.role = MacRole::kAdhoc, .standard = p.standard});
+  Node* tx =
+      net.AddNode({.role = MacRole::kAdhoc, .standard = p.standard, .position = {12, 0, 0}});
+  tx->SetRateController(std::make_unique<FixedRateController>(ModesFor(p.standard).back()));
+  net.StartAll();
+
+  LoraInterferer::Config jc;
+  jc.position = {-p.jammer_distance, 0, 0};
+  jc.duty_pct = p.duty_pct;
+  jc.airtime = p.airtime;
+  LoraInterferer jammer(&net.sim(), &net.channel(), 99, jc);
+  jammer.Start(Time::Millis(500));
+
+  tx->AddTraffic<SaturatedTraffic>(rx->address(), 1, 1200)->Start(Time::Seconds(1));
+  net.Run(Time::Seconds(1) + p.sim_time);
+
+  LoraCoexistenceResult r;
+  r.wifi.goodput_mbps = net.flow_stats().GoodputMbps(1);
+  r.wifi.loss_rate = net.flow_stats().LossRate(1);
+  r.wifi.retries = tx->mac().counters().retries;
+  r.wifi.tx_attempts = tx->mac().counters().tx_data_attempts;
+  r.wifi.rx_ok = rx->packets_received();
+  r.jammer_chirps = jammer.chirps_emitted();
+  r.jammer_airtime_share =
+      static_cast<double>(jammer.chirps_emitted()) * p.airtime.seconds() / p.sim_time.seconds();
   return r;
 }
 

@@ -181,6 +181,58 @@ struct IsmParams {
 };
 RunResult RunIsmInterferenceScenario(const IsmParams& p);
 
+// Heterogeneous coexistence on one 2.4 GHz channel: an infrastructure WiFi
+// BSS (`n_stas` saturated uplink stations at `sta_distance`), a cluster of
+// `n_sensors` 802.15.4-style sensor radios on a circle of `sensor_radius`
+// around a silent sink sensor at `cluster_offset`, and optionally a
+// duty-cycled LoRa-like jammer — three radio technologies behind one
+// RadioDevice seam. WiFi sees the sensors and jammer as foreign-protocol
+// energy (CCA deferral + SINR degradation) and vice versa.
+struct SensorCoexistenceParams {
+  PhyStandard standard = PhyStandard::k80211b;
+  size_t n_stas = 1;
+  double sta_distance = 10.0;
+  size_t n_sensors = 4;
+  double sensor_radius = 6.0;
+  double cluster_offset = 5.0;  // sink's x-offset from the AP
+  Time report_interval = Time::Millis(25);
+  bool with_jammer = false;     // add the LoRa-like interferer
+  double jammer_duty_pct = 5.0;
+  size_t payload = 1000;
+  Time sim_time = Time::Seconds(4);
+  Time warmup = Time::Seconds(1);
+  uint64_t seed = 1;
+};
+struct SensorCoexistenceResult {
+  RunResult wifi;  // the BSS's aggregate uplink results
+  uint64_t sensor_reports_sent = 0;
+  uint64_t sensor_rx_ok = 0;        // reports the sink received intact
+  uint64_t sensor_rx_lost_sinr = 0; // locked at the sink but degraded
+  uint64_t sensor_csma_deferrals = 0;
+  uint64_t sensor_csma_drops = 0;
+  double sensor_delivery_ratio = 0.0;  // sink rx_ok / reports sent
+  uint64_t jammer_chirps = 0;
+};
+SensorCoexistenceResult RunSensorCoexistenceScenario(const SensorCoexistenceParams& p);
+
+// A saturated WiFi link sharing the channel with one duty-cycled LoRa-like
+// interferer at `jammer_distance` from the receiver: the minimal quantified
+// look at what long-airtime narrowband duty cycles do to 802.11.
+struct LoraCoexistenceParams {
+  PhyStandard standard = PhyStandard::k80211b;
+  double jammer_distance = 5.0;
+  double duty_pct = 1.0;
+  Time airtime = Time::Millis(60);
+  Time sim_time = Time::Seconds(6);
+  uint64_t seed = 19;
+};
+struct LoraCoexistenceResult {
+  RunResult wifi;
+  uint64_t jammer_chirps = 0;
+  double jammer_airtime_share = 0.0;  // chirp airtime / measured time
+};
+LoraCoexistenceResult RunLoraCoexistenceScenario(const LoraCoexistenceParams& p);
+
 // n_pairs CBR flows either peer-to-peer (IBSS) or relayed through an AP.
 struct AdhocInfraParams {
   bool adhoc = true;

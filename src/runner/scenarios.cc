@@ -296,6 +296,74 @@ void RegisterIsmInterference(ScenarioRegistry& r) {
       });
 }
 
+void RegisterSensorCoexistence(ScenarioRegistry& r) {
+  r.Register(
+      "sensor_coexistence",
+      "Heterogeneous coexistence: a WiFi BSS, an 802.15.4-style sensor cluster and an "
+      "optional LoRa-like jammer sharing one 2.4 GHz channel",
+      {{"standard", "11b", "WiFi PHY standard: 11/11b/11a/11g"},
+       {"n_stas", "1", "saturated WiFi uplink stations"},
+       {"n_sensors", "4", "sensor radios reporting to the sink"},
+       {"sensor_radius", "6", "reporter-sink distance in metres"},
+       {"cluster_offset", "5", "sink's distance from the AP in metres"},
+       {"report_interval_ms", "25", "sensor report period in milliseconds"},
+       {"with_jammer", "false", "add a duty-cycled LoRa-like interferer to the cluster"},
+       {"jammer_duty_pct", "5", "jammer on-air share in percent"},
+       {"payload", "1000", "WiFi MSDU payload bytes"},
+       {"sim_time_s", "4", "measured simulation seconds (after 1 s warmup)"}},
+      [](const ScenarioParams& params, const ReplicationContext& ctx) {
+        SensorCoexistenceParams p;
+        p.standard = ParseStandard(params.GetString("standard", "11b"));
+        p.n_stas = static_cast<size_t>(params.GetUint("n_stas", 1));
+        p.n_sensors = static_cast<size_t>(params.GetUint("n_sensors", 4));
+        p.sensor_radius = params.GetDouble("sensor_radius", 6.0);
+        p.cluster_offset = params.GetDouble("cluster_offset", 5.0);
+        p.report_interval = Time::Millis(
+            static_cast<int64_t>(params.GetDouble("report_interval_ms", 25.0)));
+        p.with_jammer = params.GetBool("with_jammer", false);
+        p.jammer_duty_pct = params.GetDouble("jammer_duty_pct", 5.0);
+        p.payload = static_cast<size_t>(params.GetUint("payload", 1000));
+        p.sim_time = Time::Seconds(params.GetDouble("sim_time_s", 4.0));
+        p.seed = ctx.seed;
+        const SensorCoexistenceResult res = RunSensorCoexistenceScenario(p);
+        ReplicationResult out = FromRunResult(res.wifi);
+        out.metrics["sensor_reports_sent"] = static_cast<double>(res.sensor_reports_sent);
+        out.metrics["sensor_rx_ok"] = static_cast<double>(res.sensor_rx_ok);
+        out.metrics["sensor_rx_lost_sinr"] = static_cast<double>(res.sensor_rx_lost_sinr);
+        out.metrics["sensor_csma_deferrals"] = static_cast<double>(res.sensor_csma_deferrals);
+        out.metrics["sensor_csma_drops"] = static_cast<double>(res.sensor_csma_drops);
+        out.metrics["sensor_delivery_ratio"] = res.sensor_delivery_ratio;
+        out.metrics["jammer_chirps"] = static_cast<double>(res.jammer_chirps);
+        return out;
+      });
+}
+
+void RegisterLoraCoexistence(ScenarioRegistry& r) {
+  r.Register(
+      "lora_coexistence",
+      "A saturated WiFi link sharing the channel with a duty-cycled LoRa-like "
+      "narrowband interferer",
+      {{"standard", "11b", "WiFi PHY standard: 11/11b/11a/11g"},
+       {"jammer_distance", "5", "jammer-receiver distance in metres"},
+       {"duty_pct", "1", "jammer on-air share in percent"},
+       {"airtime_ms", "60", "airtime of one chirp frame in milliseconds"},
+       {"sim_time_s", "6", "measured simulation seconds (after 1 s warmup)"}},
+      [](const ScenarioParams& params, const ReplicationContext& ctx) {
+        LoraCoexistenceParams p;
+        p.standard = ParseStandard(params.GetString("standard", "11b"));
+        p.jammer_distance = params.GetDouble("jammer_distance", 5.0);
+        p.duty_pct = params.GetDouble("duty_pct", 1.0);
+        p.airtime = Time::Millis(static_cast<int64_t>(params.GetDouble("airtime_ms", 60.0)));
+        p.sim_time = Time::Seconds(params.GetDouble("sim_time_s", 6.0));
+        p.seed = ctx.seed;
+        const LoraCoexistenceResult res = RunLoraCoexistenceScenario(p);
+        ReplicationResult out = FromRunResult(res.wifi);
+        out.metrics["jammer_chirps"] = static_cast<double>(res.jammer_chirps);
+        out.metrics["jammer_airtime_share"] = res.jammer_airtime_share;
+        return out;
+      });
+}
+
 void RegisterAdhocVsInfra(ScenarioRegistry& r) {
   r.Register(
       "adhoc_vs_infra", "n CBR pairs exchanging traffic peer-to-peer or relayed through an AP",
@@ -400,6 +468,8 @@ void RegisterBuiltinScenarios(ScenarioRegistry& registry) {
   RegisterCityGrid(registry);
   RegisterRateVsDistance(registry);
   RegisterIsmInterference(registry);
+  RegisterSensorCoexistence(registry);
+  RegisterLoraCoexistence(registry);
   RegisterAdhocVsInfra(registry);
   RegisterCoexistence(registry);
   RegisterFragmentation(registry);

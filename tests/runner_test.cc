@@ -75,7 +75,7 @@ TEST(Registry, BuiltinScenariosRegistered) {
   ScenarioRegistry& registry = ScenarioRegistry::Global();
   for (const char* name : {"saturation", "hidden_terminal", "edca", "rate_vs_distance",
                            "ism_interference", "adhoc_vs_infra", "coexistence", "fragmentation",
-                           "roaming"}) {
+                           "roaming", "sensor_coexistence", "lora_coexistence"}) {
     EXPECT_NE(registry.Find(name), nullptr) << name;
   }
   EXPECT_EQ(registry.Find("no_such_scenario"), nullptr);

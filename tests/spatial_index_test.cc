@@ -47,7 +47,8 @@ struct World {
     if (rayleigh) {
       channel.SetFading(std::make_unique<RayleighFading>());
     }
-    channel.SetSendProbe([this](const WifiPhy* tx, const WifiPhy* rx, double dbm, Time delay) {
+    channel.AttachProbe([this](const RadioDevice* tx, const RadioDevice* rx, double dbm,
+                               Time delay) {
       offers.emplace_back(tx->node_id(), rx->node_id(), dbm, delay.seconds());
     });
     Rng rng(seed + 1);
@@ -72,7 +73,9 @@ struct World {
     for (size_t k = 0; k < count; ++k) {
       WifiPhy* sender = phys[(k * 7919) % phys.size()].get();
       sim.Schedule(Time::Millis(2 * static_cast<int64_t>(k + 1)) - sim.Now(),
-                   [this, sender, packet, mode] { channel.Send(sender, packet, mode, false); });
+                   [this, sender, packet, mode] {
+                     channel.Send(sender, packet, MakeWifiSignal(mode, packet.size(), false));
+                   });
     }
     sim.RunUntil(Time::Millis(2 * static_cast<int64_t>(count + 2)));
   }
@@ -140,12 +143,12 @@ TEST(SpatialIndex, StaticTeleportRebuildsGrid) {
 
   const Packet p(100);
   const WifiMode mode = ModesFor(PhyStandard::k80211b).back();
-  channel.Send(&a, p, mode, false);
+  channel.Send(&a, p, MakeWifiSignal(mode, p.size(), false));
   EXPECT_EQ(channel.send_stats().offers, 1u);  // b only; c pruned by the grid
   EXPECT_EQ(channel.send_stats().grid_rebuilds, 1u);
 
   pos_c.SetPosition({0, 5, 0});  // teleport into a's cell
-  channel.Send(&a, p, mode, false);
+  channel.Send(&a, p, MakeWifiSignal(mode, p.size(), false));
   EXPECT_EQ(channel.send_stats().offers, 3u);  // b and c
   EXPECT_EQ(channel.send_stats().grid_rebuilds, 2u);
   sim.RunUntil(Time::Seconds(1));
@@ -168,12 +171,12 @@ TEST(SpatialIndex, MobilitySwapForcesRebuild) {
 
   const Packet p(100);
   const WifiMode mode = ModesFor(PhyStandard::k80211b).back();
-  channel.Send(&a, p, mode, false);
+  channel.Send(&a, p, MakeWifiSignal(mode, p.size(), false));
   EXPECT_EQ(channel.send_stats().offers, 0u);
 
   ConstantPositionMobility near{{8, 0, 0}};
   b.SetMobility(&near);
-  channel.Send(&a, p, mode, false);
+  channel.Send(&a, p, MakeWifiSignal(mode, p.size(), false));
   EXPECT_EQ(channel.send_stats().offers, 1u);
   EXPECT_GE(channel.send_stats().grid_rebuilds, 2u);
   sim.RunUntil(Time::Seconds(1));
@@ -201,14 +204,14 @@ TEST(SpatialIndex, CutoffBoundaryIsInclusive) {
   const WifiMode mode = ModesFor(PhyStandard::k80211b).back();
 
   matrix->SetLoss(0, 1, 106.0);  // rx = 16 - 106 = -90, exactly the cutoff
-  channel.Send(&a, p, mode, false);
+  channel.Send(&a, p, MakeWifiSignal(mode, p.size(), false));
   EXPECT_EQ(channel.send_stats().offers, 1u);
   EXPECT_EQ(channel.send_stats().cutoff_suppressed, 0u);
   // Unbounded radius: the index must have fallen back to the dense loop.
   EXPECT_EQ(channel.send_stats().grid_queries, 0u);
 
   matrix->SetLoss(0, 1, 106.0 + 1e-9);  // epsilon below the cutoff
-  channel.Send(&a, p, mode, false);
+  channel.Send(&a, p, MakeWifiSignal(mode, p.size(), false));
   EXPECT_EQ(channel.send_stats().offers, 1u);  // unchanged
   EXPECT_EQ(channel.send_stats().cutoff_suppressed, 1u);
   sim.RunUntil(Time::Seconds(1));
@@ -233,7 +236,8 @@ TEST(SpatialIndex, ReceiverExactlyAtRadiusMatchesDensePath) {
     channel.SetRxCutoffDbm(cutoff);
     channel.EnableSpatialIndex(spatial);
     std::vector<Offer>& offers = streams[spatial ? 1 : 0];
-    channel.SetSendProbe([&offers](const WifiPhy* tx, const WifiPhy* rx, double dbm, Time d) {
+    channel.AttachProbe([&offers](const RadioDevice* tx, const RadioDevice* rx, double dbm,
+                                  Time d) {
       offers.emplace_back(tx->node_id(), rx->node_id(), dbm, d.seconds());
     });
     ConstantPositionMobility pos_a{{0, 0, 0}};
@@ -246,7 +250,7 @@ TEST(SpatialIndex, ReceiverExactlyAtRadiusMatchesDensePath) {
     b.AttachChannel(&channel, 1, &pos_b);
     c.AttachChannel(&channel, 2, &pos_c);
     const Packet p(100);
-    channel.Send(&a, p, ModesFor(PhyStandard::k80211b).back(), false);
+    channel.Send(&a, p, MakeWifiSignal(ModesFor(PhyStandard::k80211b).back(), p.size(), false));
     sim.RunUntil(Time::Seconds(1));
   }
   EXPECT_EQ(streams[0], streams[1]);
@@ -276,11 +280,13 @@ TEST(SpatialIndex, MovingReceiverBypassesGrid) {
   uint64_t offers_at_start = 0;
   uint64_t offers_at_passby = 0;
   sim.Schedule(Time::Zero(), [&] {
-    channel.Send(&a, p, mode, false);  // mover 1 km out: suppressed
+    // Mover 1 km out: suppressed.
+    channel.Send(&a, p, MakeWifiSignal(mode, p.size(), false));
     offers_at_start = channel.send_stats().offers;
   });
   sim.Schedule(Time::Seconds(10), [&] {
-    channel.Send(&a, p, mode, false);  // mover at the origin: delivered
+    // Mover at the origin: delivered.
+    channel.Send(&a, p, MakeWifiSignal(mode, p.size(), false));
     offers_at_passby = channel.send_stats().offers;
   });
   sim.RunUntil(Time::Seconds(11));
