@@ -1,4 +1,4 @@
-// F10 — RTS/CTS threshold crossover.
+// F10 — RTS/CTS threshold crossover, on the in-tree perf harness.
 //
 // Basic access wastes a whole data frame on every collision; RTS/CTS wastes
 // only the short RTS but pays the handshake on every frame. The crossover
@@ -6,55 +6,73 @@
 // station count with RTS always-on vs always-off. Expected shape: basic
 // wins for small payloads / low contention; RTS/CTS wins for large payloads
 // with many stations.
+//
+// The harness times each whole-simulation point (items = MPDUs delivered,
+// so items/s gauges simulator speed); the figure table itself is printed
+// from the scenario results afterwards.
 
-#include <benchmark/benchmark.h>
+#include <cstddef>
+#include <string>
 
 #include "bench/bench_util.h"
 
 namespace wlansim {
 namespace {
 
-Table g_table({"payload_B", "n_stas", "basic_mbps", "rtscts_mbps", "winner"});
-
 const size_t kPayloads[] = {200, 1000, 2304};
 const size_t kStas[] = {2, 15, 50};
 
-void BM_Crossover(benchmark::State& state) {
-  const size_t payload = kPayloads[state.range(0)];
-  const size_t n = kStas[state.range(1)];
-  double basic = 0;
-  double rts = 0;
-  for (auto _ : state) {
-    SaturationParams p;
-    p.standard = PhyStandard::k80211b;
-    p.n_stas = n;
-    p.payload = payload;
-    p.distance = 10.0;
-    p.sim_time = Time::Seconds(4);
-    p.seed = 7000 + n * 10 + payload;
-    p.rts_threshold = 65535;
-    basic = RunSaturationScenario(p).goodput_mbps;
-    p.rts_threshold = 0;  // RTS for everything
-    rts = RunSaturationScenario(p).goodput_mbps;
+int Run(int argc, char** argv) {
+  PerfArgs args = ParsePerfArgs(argc, argv, "bench_f10_rts_threshold", /*default_reps=*/1);
+  if (!args.ok) {
+    return 1;
   }
-  state.counters["basic_mbps"] = basic;
-  state.counters["rtscts_mbps"] = rts;
-  g_table.AddRow({std::to_string(payload), std::to_string(n), Table::Num(basic, 2),
-                  Table::Num(rts, 2), basic >= rts ? "basic" : "rts/cts"});
-}
+  args.warmup = false;  // one rep of a deterministic simulation needs no cache warming
 
-BENCHMARK(BM_Crossover)
-    ->ArgsProduct({{0, 1, 2}, {0, 1, 2}})
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
+  PerfHarness harness("F10: RTS/CTS crossover harness (items = delivered MPDUs)", args);
+  Table table({"payload_B", "n_stas", "basic_mbps", "rtscts_mbps", "winner"});
+  for (const size_t payload : kPayloads) {
+    for (const size_t n : kStas) {
+      double goodput[2] = {0.0, 0.0};  // [0] = basic, [1] = rts/cts
+      bool ran = false;
+      for (const bool rtscts : {false, true}) {
+        const std::string name = std::string(rtscts ? "rtscts" : "basic") +
+                                 "/payload=" + std::to_string(payload) +
+                                 "/n=" + std::to_string(n);
+        if (!args.filter.empty() && name.find(args.filter) == std::string::npos) {
+          continue;  // keep the figure table aligned with the benches that ran
+        }
+        ran = true;
+        RunResult r{};
+        harness.Bench(name, [payload, n, rtscts, &r] {
+          SaturationParams p;
+          p.standard = PhyStandard::k80211b;
+          p.n_stas = n;
+          p.payload = payload;
+          p.distance = 10.0;
+          p.sim_time = Time::Seconds(4);
+          p.seed = 7000 + n * 10 + payload;
+          p.rts_threshold = rtscts ? 0 : 65535;  // 0 = RTS for everything
+          r = RunSaturationScenario(p);
+          return r.rx_ok;
+        });
+        goodput[rtscts ? 1 : 0] = r.goodput_mbps;
+      }
+      if (ran) {
+        table.AddRow({std::to_string(payload), std::to_string(n), Table::Num(goodput[0], 2),
+                      Table::Num(goodput[1], 2), goodput[0] >= goodput[1] ? "basic" : "rts/cts"});
+      }
+    }
+  }
+  const int rc = harness.Finish();
+  std::printf("=== F10: RTS/CTS threshold crossover (802.11b, saturated uplinks) ===\n%s\n",
+              table.ToString().c_str());
+  return rc;
+}
 
 }  // namespace
 }  // namespace wlansim
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  wlansim::PrintTable("F10: RTS/CTS threshold crossover (802.11b, saturated uplinks)",
-                      wlansim::g_table, argc, argv);
-  return 0;
+  return wlansim::Run(argc, argv);
 }

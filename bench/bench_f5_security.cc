@@ -1,68 +1,75 @@
 // F5 — Security-suite goodput (the survey's WEP → WPA/TKIP → WPA2/CCMP
-// progression, §5.2).
+// progression, §5.2), on the in-tree perf harness.
 //
 // Saturated single link under each cipher. Expected shape: goodput ordered
 // Open > WEP > CCMP > TKIP, tracking per-MPDU byte overhead (0/8/16/20 B);
 // the gaps are small at 1500 B payloads and widen for small frames (64 B
 // rows). CPU cost of the ciphers is measured separately in M1.
+//
+// The harness times each whole-simulation point (items = MPDUs delivered,
+// so items/s gauges simulator speed); the figure table itself is printed
+// from the scenario results afterwards.
 
-#include <benchmark/benchmark.h>
+#include <cstddef>
+#include <string>
 
 #include "bench/bench_util.h"
 
 namespace wlansim {
 namespace {
 
-Table g_table(
-    {"cipher", "payload_B", "overhead_B", "goodput_mbps", "relative_%", "decrypt_failures"});
-
 const CipherSuite kSuites[] = {CipherSuite::kOpen, CipherSuite::kWep, CipherSuite::kTkip,
                                CipherSuite::kCcmp};
+const size_t kPayloads[] = {1500, 64};
 
-double g_open_baseline[2] = {0, 0};
-
-void Run(benchmark::State& state, size_t payload, int payload_slot) {
-  const CipherSuite suite = kSuites[state.range(0)];
-  SaturationParams p;
-  p.standard = PhyStandard::k80211b;
-  p.n_stas = 1;
-  p.payload = payload;
-  p.distance = 5.0;
-  p.cipher = suite;
-  p.sim_time = Time::Seconds(5);
-  RunResult r{};
-  for (auto _ : state) {
-    r = RunSaturationScenario(p);
+int Run(int argc, char** argv) {
+  PerfArgs args = ParsePerfArgs(argc, argv, "bench_f5_security", /*default_reps=*/1);
+  if (!args.ok) {
+    return 1;
   }
-  if (suite == CipherSuite::kOpen) {
-    g_open_baseline[payload_slot] = r.goodput_mbps;
+  args.warmup = false;  // one rep of a deterministic simulation needs no cache warming
+
+  PerfHarness harness("F5: security-suite harness (items = delivered MPDUs)", args);
+  Table table(
+      {"cipher", "payload_B", "overhead_B", "goodput_mbps", "relative_%", "decrypt_failures"});
+  for (const size_t payload : kPayloads) {
+    double open_baseline = 0.0;
+    for (const CipherSuite suite : kSuites) {
+      const std::string name =
+          std::string(ToString(suite)) + "/payload=" + std::to_string(payload);
+      if (!args.filter.empty() && name.find(args.filter) == std::string::npos) {
+        continue;  // keep the figure table aligned with the benches that ran
+      }
+      RunResult r{};
+      harness.Bench(name, [suite, payload, &r] {
+        SaturationParams p;
+        p.standard = PhyStandard::k80211b;
+        p.n_stas = 1;
+        p.payload = payload;
+        p.distance = 5.0;
+        p.cipher = suite;
+        p.sim_time = Time::Seconds(5);
+        r = RunSaturationScenario(p);
+        return r.rx_ok;
+      });
+      if (suite == CipherSuite::kOpen) {
+        open_baseline = r.goodput_mbps;
+      }
+      const double rel = open_baseline > 0 ? 100.0 * r.goodput_mbps / open_baseline : 100.0;
+      table.AddRow({ToString(suite), std::to_string(payload),
+                    std::to_string(CipherTotalOverheadBytes(suite)), Table::Num(r.goodput_mbps, 3),
+                    Table::Num(rel, 1), "0"});
+    }
   }
-  const double rel = g_open_baseline[payload_slot] > 0
-                         ? 100.0 * r.goodput_mbps / g_open_baseline[payload_slot]
-                         : 100.0;
-  state.counters["goodput_mbps"] = r.goodput_mbps;
-  g_table.AddRow({ToString(suite), std::to_string(payload),
-                  std::to_string(CipherTotalOverheadBytes(suite)), Table::Num(r.goodput_mbps, 3),
-                  Table::Num(rel, 1), "0"});
+  const int rc = harness.Finish();
+  std::printf("=== F5: link-layer security suite goodput (11 Mb/s saturated link) ===\n%s\n",
+              table.ToString().c_str());
+  return rc;
 }
-
-void BM_Cipher1500(benchmark::State& s) {
-  Run(s, 1500, 0);
-}
-void BM_Cipher64(benchmark::State& s) {
-  Run(s, 64, 1);
-}
-
-BENCHMARK(BM_Cipher1500)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Cipher64)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace wlansim
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  wlansim::PrintTable("F5: link-layer security suite goodput (11 Mb/s saturated link)",
-                      wlansim::g_table, argc, argv);
-  return 0;
+  return wlansim::Run(argc, argv);
 }

@@ -1,0 +1,243 @@
+#include "results/binary_writer.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "crypto/crc32.h"
+
+namespace wlansim {
+namespace {
+
+bool SameGeometry(const DistGeometry& geometry, const DistributionSnapshot& snapshot) {
+  // Bitwise comparison: the geometry is schema, and schema equality must be
+  // exact (0.0 vs -0.0 bounds would decode into a different histogram).
+  return std::bit_cast<uint64_t>(geometry.lo) == std::bit_cast<uint64_t>(snapshot.lo) &&
+         std::bit_cast<uint64_t>(geometry.bin_width) ==
+             std::bit_cast<uint64_t>(snapshot.bin_width) &&
+         geometry.n_bins == snapshot.bins.size();
+}
+
+}  // namespace
+
+void GroupEncoder::FixSchema(const ReplicationRecord& record) {
+  scalar_names_.reserve(record.metrics.size());
+  for (const auto& [name, value] : record.metrics) {
+    scalar_names_.push_back(name);
+  }
+  dist_names_.reserve(record.distributions.size());
+  for (const auto& [name, snapshot] : record.distributions) {
+    dist_names_.push_back(name);
+    DistGeometry geometry;
+    geometry.lo = snapshot.lo;
+    geometry.bin_width = snapshot.bin_width;
+    geometry.n_bins = snapshot.bins.size();
+    geometries_.push_back(geometry);
+  }
+  scalar_cols_.resize(scalar_names_.size());
+  for (std::vector<double>& col : scalar_cols_) {
+    col.reserve(kExtentRows);
+  }
+  dist_cols_.resize(dist_names_.size());
+  schema_fixed_ = true;
+}
+
+void GroupEncoder::CheckSchema(const ReplicationRecord& record) const {
+  // Same contract as the streaming CSV writer: the schema went out with the
+  // first record, so a drifting metric set cannot be accommodated.
+  if (record.metrics.size() != scalar_names_.size() ||
+      record.distributions.size() != dist_names_.size()) {
+    throw std::runtime_error("replication " + std::to_string(record.replication) + " reports " +
+                             std::to_string(record.metrics.size()) + " metrics and " +
+                             std::to_string(record.distributions.size()) +
+                             " distributions; the binary group schema fixed " +
+                             std::to_string(scalar_names_.size()) + " and " +
+                             std::to_string(dist_names_.size()));
+  }
+  size_t i = 0;
+  for (const auto& [name, value] : record.metrics) {
+    if (name != scalar_names_[i]) {
+      throw std::runtime_error("replication " + std::to_string(record.replication) +
+                               " reports metric '" + name +
+                               "' where the binary group schema has '" + scalar_names_[i] + "'");
+    }
+    ++i;
+  }
+  i = 0;
+  for (const auto& [name, snapshot] : record.distributions) {
+    if (name != dist_names_[i]) {
+      throw std::runtime_error("replication " + std::to_string(record.replication) +
+                               " reports distribution '" + name +
+                               "' where the binary group schema has '" + dist_names_[i] + "'");
+    }
+    if (!SameGeometry(geometries_[i], snapshot)) {
+      throw std::runtime_error("replication " + std::to_string(record.replication) +
+                               " changed the bin geometry of distribution '" + name +
+                               "'; the binary group schema fixed it at the first record");
+    }
+    ++i;
+  }
+}
+
+void GroupEncoder::AddRecord(const ReplicationRecord& record) {
+  if (!schema_fixed_) {
+    FixSchema(record);
+  } else {
+    CheckSchema(record);
+  }
+  size_t i = 0;
+  for (const auto& [name, value] : record.metrics) {
+    scalar_cols_[i++].push_back(value);
+  }
+  i = 0;
+  for (const auto& [name, snapshot] : record.distributions) {
+    DistColumns& cols = dist_cols_[i++];
+    cols.underflow.push_back(snapshot.underflow);
+    cols.overflow.push_back(snapshot.overflow);
+    cols.total.push_back(snapshot.total);
+    cols.min.push_back(snapshot.min);
+    cols.max.push_back(snapshot.max);
+    cols.mean.push_back(snapshot.mean);
+    EncodeBins(cols.bins_rle, snapshot.bins.data(), snapshot.bins.size());
+  }
+  ++n_rows_;
+  if (++extent_rows_ == kExtentRows) {
+    FlushExtent();
+  }
+}
+
+void GroupEncoder::FlushExtent() {
+  if (extent_rows_ == 0) {
+    return;
+  }
+  for (std::vector<double>& col : scalar_cols_) {
+    EncodeScalarChunk(extents_, col.data(), col.size());
+    col.clear();
+  }
+  for (DistColumns& cols : dist_cols_) {
+    EncodeU64Chunk(extents_, cols.underflow.data(), cols.underflow.size());
+    EncodeU64Chunk(extents_, cols.overflow.data(), cols.overflow.size());
+    EncodeU64Chunk(extents_, cols.total.data(), cols.total.size());
+    EncodeScalarChunk(extents_, cols.min.data(), cols.min.size());
+    EncodeScalarChunk(extents_, cols.max.data(), cols.max.size());
+    EncodeScalarChunk(extents_, cols.mean.data(), cols.mean.size());
+    // Length prefix lets a reader skip the whole bins block of an extent.
+    PutVarint(extents_, cols.bins_rle.size());
+    extents_ += cols.bins_rle;
+    cols.underflow.clear();
+    cols.overflow.clear();
+    cols.total.clear();
+    cols.min.clear();
+    cols.max.clear();
+    cols.mean.clear();
+    cols.bins_rle.clear();
+  }
+  extent_rows_ = 0;
+}
+
+std::string GroupEncoder::FinishFramed(uint64_t point_index, uint64_t point_seed,
+                                       std::vector<std::string> param_values) {
+  FlushExtent();
+  BinaryGroupHeader header;
+  header.point_index = point_index;
+  header.point_seed = point_seed;
+  header.param_values = std::move(param_values);
+  header.n_rows = n_rows_;
+  header.scalar_names = scalar_names_;
+  header.dist_names = dist_names_;
+  header.dist_geometries = geometries_;
+
+  std::string body;
+  EncodeGroupHeader(body, header);
+  body += extents_;
+  extents_.clear();
+
+  std::string framed;
+  framed.reserve(body.size() + 16);
+  PutU32(framed, kBinaryGroupMagic);
+  PutU64(framed, body.size());
+  framed += body;
+  PutU32(framed, Crc32({reinterpret_cast<const uint8_t*>(body.data()), body.size()}));
+  return framed;
+}
+
+void BinaryCampaignWriter::BeginCampaign(const CampaignManifest& manifest) {
+  if (begun_) {
+    throw std::logic_error(
+        "BinaryCampaignWriter attached to a second campaign: one writer, one stream");
+  }
+  begun_ = true;
+  manifest_ = manifest;
+  BinaryFileHeader header;
+  header.kind = BinaryFileKind::kCampaign;
+  header.streamed = streamed_;
+  header.n_groups = 1;
+  header.base_seed = manifest.base_seed;
+  header.replications = manifest.replications;
+  header.scenario = manifest.scenario;
+  std::string bytes;
+  EncodeFileHeader(bytes, header);
+  out_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void BinaryCampaignWriter::OnRecord(const ReplicationRecord& record) {
+  encoder_.AddRecord(record);
+}
+
+void BinaryCampaignWriter::EndCampaign() {
+  const std::string framed = encoder_.FinishFramed(0, manifest_.base_seed, {});
+  out_.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("binary results write failed");
+  }
+}
+
+void BinarySweepWriter::BeginSweep(const SweepManifest& manifest) {
+  if (begun_) {
+    throw std::logic_error(
+        "BinarySweepWriter attached to a second sweep: one writer, one stream");
+  }
+  begun_ = true;
+  BinaryFileHeader header;
+  header.kind = BinaryFileKind::kSweep;
+  header.streamed = manifest.streamed;
+  header.n_groups = manifest.shard_points;
+  header.base_seed = manifest.base_seed;
+  header.replications = manifest.replications;
+  header.scenario = manifest.scenario;
+  header.param_keys = manifest.param_keys;
+  std::string bytes;
+  EncodeFileHeader(bytes, header);
+  out_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::unique_ptr<ResultConsumer> BinarySweepWriter::MakePointConsumer(const SweepPointInfo& info) {
+  (void)info;
+  return std::make_unique<GroupEncoderConsumer>();
+}
+
+void BinarySweepWriter::OnPointDone(const SweepPointInfo& info,
+                                    const std::vector<MetricAggregate>& aggregates,
+                                    ResultConsumer* point_consumer) {
+  (void)aggregates;
+  // The engine hands back the consumer MakePointConsumer created, so the
+  // cast recovers our own encoder.
+  GroupEncoderConsumer& consumer = *static_cast<GroupEncoderConsumer*>(point_consumer);
+  std::vector<std::string> param_values;
+  param_values.reserve(info.point.size());
+  for (const auto& [key, value] : info.point) {
+    param_values.push_back(value);
+  }
+  const std::string framed = consumer.encoder().FinishFramed(info.point_index, info.point_seed,
+                                                             std::move(param_values));
+  out_.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+}
+
+void BinarySweepWriter::EndSweep() {
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("binary results write failed");
+  }
+}
+
+}  // namespace wlansim

@@ -1,0 +1,128 @@
+// Writers for the WLSR binary columnar result format (binary_format.h).
+//
+// GroupEncoder turns an ordered stream of ReplicationRecords into one
+// encoded group: it buffers kExtentRows rows of column values, flushes each
+// full extent as per-column chunks, and finishes into the CRC-framed group
+// bytes. Peak memory is one extent of raw columns plus the (compact)
+// encoded blob — never the row set.
+//
+// BinaryCampaignWriter is the ResultConsumer that rides the campaign
+// ResultPipeline (next to the streaming CSV writer) and writes a
+// single-group campaign file. BinarySweepWriter is the SweepPointSink that
+// writes a sweep file: one group per grid point, emitted in grid order by
+// the sweep engine's ordered point delivery, so the bytes are identical for
+// any --jobs value — and shards concatenate into exactly the unsharded file.
+
+#ifndef WLANSIM_RESULTS_BINARY_WRITER_H_
+#define WLANSIM_RESULTS_BINARY_WRITER_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "results/binary_format.h"
+#include "runner/metric_recorder.h"
+#include "runner/result_consumer.h"
+#include "runner/sweep.h"
+
+namespace wlansim {
+
+// Encodes the records of one group (one campaign, or one sweep grid point).
+// The schema — scalar names, distribution names, bin geometries — is fixed
+// by the first record, exactly the way StreamingCsvWriter fixes its column
+// set; a later record that drifts throws std::runtime_error.
+class GroupEncoder {
+ public:
+  // Records must arrive in replication order (the pipeline guarantees it).
+  void AddRecord(const ReplicationRecord& record);
+
+  uint64_t n_rows() const { return n_rows_; }
+
+  // Flushes the trailing partial extent and returns the framed group:
+  // group magic | body_len | body | crc32(body). The encoder is spent
+  // afterwards.
+  std::string FinishFramed(uint64_t point_index, uint64_t point_seed,
+                           std::vector<std::string> param_values);
+
+ private:
+  void FixSchema(const ReplicationRecord& record);
+  void CheckSchema(const ReplicationRecord& record) const;
+  void FlushExtent();
+
+  bool schema_fixed_ = false;
+  std::vector<std::string> scalar_names_;
+  std::vector<std::string> dist_names_;
+  std::vector<DistGeometry> geometries_;
+
+  uint64_t n_rows_ = 0;
+  size_t extent_rows_ = 0;
+  std::vector<std::vector<double>> scalar_cols_;
+  struct DistColumns {
+    std::vector<uint64_t> underflow;
+    std::vector<uint64_t> overflow;
+    std::vector<uint64_t> total;
+    std::vector<double> min;
+    std::vector<double> max;
+    std::vector<double> mean;
+    std::string bins_rle;  // concatenated per-row zero-RLE bin blocks
+  };
+  std::vector<DistColumns> dist_cols_;
+  std::string extents_;  // encoded extents so far
+};
+
+// ResultConsumer adapter over a GroupEncoder, for contexts that attach
+// consumers to a pipeline (the sweep engine's per-point consumers).
+class GroupEncoderConsumer final : public ResultConsumer {
+ public:
+  void OnRecord(const ReplicationRecord& record) override { encoder_.AddRecord(record); }
+
+  GroupEncoder& encoder() { return encoder_; }
+
+ private:
+  GroupEncoder encoder_;
+};
+
+// Streams a campaign into one single-group binary file on `out`. `streamed`
+// only annotates the header (which aggregation mode the campaign ran); the
+// writer always receives and stores every full record.
+class BinaryCampaignWriter final : public ResultConsumer {
+ public:
+  BinaryCampaignWriter(std::ostream& out, bool streamed)
+      : out_(out), streamed_(streamed) {}
+
+  // One writer serves one campaign, like StreamingCsvWriter.
+  void BeginCampaign(const CampaignManifest& manifest) override;
+  void OnRecord(const ReplicationRecord& record) override;
+  void EndCampaign() override;
+
+ private:
+  std::ostream& out_;
+  bool streamed_;
+  CampaignManifest manifest_;
+  GroupEncoder encoder_;
+  bool begun_ = false;
+};
+
+// Writes a sweep binary file: header up front (the group count — this
+// shard's point count — is known before any point runs), then one framed
+// group per grid point as the engine delivers completions in grid order.
+class BinarySweepWriter final : public SweepPointSink {
+ public:
+  explicit BinarySweepWriter(std::ostream& out) : out_(out) {}
+
+  void BeginSweep(const SweepManifest& manifest) override;
+  std::unique_ptr<ResultConsumer> MakePointConsumer(const SweepPointInfo& info) override;
+  void OnPointDone(const SweepPointInfo& info,
+                   const std::vector<MetricAggregate>& aggregates,
+                   ResultConsumer* point_consumer) override;
+  void EndSweep() override;
+
+ private:
+  std::ostream& out_;
+  bool begun_ = false;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_RESULTS_BINARY_WRITER_H_

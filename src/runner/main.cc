@@ -17,10 +17,13 @@
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "results/binary_writer.h"
 #include "runner/campaign.h"
 #include "runner/result_consumer.h"
 #include "runner/scenario_registry.h"
@@ -59,10 +62,20 @@ void PrintUsage() {
       "  --reps-csv=FILE     write one CSV row per replication (no sweep mode);\n"
       "                      in stream mode rows are appended as replications\n"
       "                      complete instead of buffered\n"
+      "  --binary-out=FILE   write the full per-replication record stream\n"
+      "                      (metrics plus histogram snapshots) as a WLSR\n"
+      "                      binary columnar file, in campaign and sweep mode\n"
+      "                      alike; wlansim_results can inspect/merge/export/\n"
+      "                      aggregate it. Output bytes are identical for any\n"
+      "                      --jobs value, and sweep shard files merge into\n"
+      "                      exactly the unsharded file\n"
       "  --stream            stream results instead of buffering them: rows go\n"
       "                      to --reps-csv as they complete and aggregates use\n"
       "                      online Welford + P-square quantiles in O(metrics)\n"
       "                      memory (columns become p50_approx/p95_approx).\n"
+      "                      In sweep mode the long-format --csv streams too,\n"
+      "                      one grid point at a time, byte-identical to the\n"
+      "                      batch writer.\n"
       "                      Auto-enabled at >= %llu replications; --no-stream\n"
       "                      forces exact batch aggregation back on\n"
       "  --list              list registered scenarios\n"
@@ -134,7 +147,7 @@ bool ParseShard(const std::string& spec, unsigned* index, unsigned* count) {
 
 int RunSweep(const CampaignOptions& base, const std::vector<std::string>& sweep_specs,
              unsigned shard_index, unsigned shard_count, const std::string& csv_path,
-             bool quiet) {
+             const std::string& binary_out_path, bool quiet) {
   SweepOptions options;
   options.scenario = base.scenario;
   options.base_params = base.params;
@@ -144,6 +157,35 @@ int RunSweep(const CampaignOptions& base, const std::vector<std::string>& sweep_
   options.shard_index = shard_index;
   options.shard_count = shard_count;
   options.stream = base.stream;
+
+  // In stream mode the long CSV goes out through an ordered point sink, one
+  // grid point at a time, instead of assembling at sweep end — byte-identical
+  // to the batch writer below.
+  std::ofstream streamed_csv_out;
+  std::unique_ptr<StreamingSweepCsvWriter> streamed_csv_writer;
+  if (options.stream && !csv_path.empty()) {
+    streamed_csv_out.open(csv_path, std::ios::binary);
+    if (!streamed_csv_out) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    streamed_csv_writer = std::make_unique<StreamingSweepCsvWriter>(streamed_csv_out);
+    options.point_sinks.push_back(streamed_csv_writer.get());
+  }
+  std::ofstream binary_out;
+  std::unique_ptr<BinarySweepWriter> binary_writer;
+  if (!binary_out_path.empty()) {
+    binary_out.open(binary_out_path, std::ios::binary);
+    if (!binary_out) {
+      std::fprintf(stderr, "cannot write %s\n", binary_out_path.c_str());
+      return 1;
+    }
+    binary_writer = std::make_unique<BinarySweepWriter>(binary_out);
+    options.point_sinks.push_back(binary_writer.get());
+  }
+  // Per-point aggregates only need buffering for the stdout table and the
+  // batch CSV path; a quiet streamed sweep runs with O(in-flight) memory.
+  options.retain_points = !quiet || (!csv_path.empty() && !options.stream);
 
   SweepResult result;
   try {
@@ -185,7 +227,8 @@ int RunSweep(const CampaignOptions& base, const std::vector<std::string>& sweep_
     }
     std::fputs(table.ToString().c_str(), stdout);
   }
-  if (!csv_path.empty() && !WriteFileOrComplain(csv_path, SweepResultToCsv(result))) {
+  if (!csv_path.empty() && streamed_csv_writer == nullptr &&
+      !WriteFileOrComplain(csv_path, SweepResultToCsv(result))) {
     return 1;
   }
   return 0;
@@ -198,6 +241,8 @@ int Main(int argc, char** argv) {
   std::string csv_path;
   std::string json_path;
   std::string reps_csv_path;
+  std::string binary_out_path;
+  std::vector<std::string> param_keys_seen;
   bool quiet = false;
   bool stream = false;
   bool no_stream = false;
@@ -249,7 +294,17 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "--param expects KEY=VALUE, got '%s'\n", v);
         return 1;
       }
-      options.params.Set(std::string(v, eq), std::string(eq + 1));
+      std::string key(v, eq);
+      for (const std::string& seen : param_keys_seen) {
+        if (seen == key) {
+          std::fprintf(stderr,
+                       "--param %s given twice; the second value would silently win\n",
+                       key.c_str());
+          return 1;
+        }
+      }
+      param_keys_seen.push_back(key);
+      options.params.Set(key, std::string(eq + 1));
     } else if ((v = value_of(arg, "--sweep")) != nullptr ||
                (std::strcmp(arg, "--sweep") == 0 && i + 1 < argc && (v = argv[++i]) != nullptr)) {
       sweep_specs.emplace_back(v);
@@ -261,6 +316,8 @@ int Main(int argc, char** argv) {
       json_path = v;
     } else if ((v = value_of(arg, "--reps-csv")) != nullptr) {
       reps_csv_path = v;
+    } else if ((v = value_of(arg, "--binary-out")) != nullptr) {
+      binary_out_path = v;
     } else if (std::strcmp(arg, "--quiet") == 0) {
       quiet = true;
     } else if (std::strcmp(arg, "--stream") == 0) {
@@ -289,6 +346,34 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "--stream and --no-stream are mutually exclusive\n");
     return 1;
   }
+  if (!binary_out_path.empty() && no_stream &&
+      options.replications >= kAutoStreamReplications) {
+    std::fprintf(stderr,
+                 "--binary-out with --no-stream at >= %llu replications would buffer every "
+                 "row for the exact aggregates while the binary file streams; drop "
+                 "--no-stream (the binary records are exact either way)\n",
+                 static_cast<unsigned long long>(kAutoStreamReplications));
+    return 1;
+  }
+  // Each output flag owns its file; two flags aimed at one path would just
+  // overwrite each other in flag order.
+  {
+    const std::pair<const char*, const std::string*> outputs[] = {
+        {"--csv", &csv_path},
+        {"--json", &json_path},
+        {"--reps-csv", &reps_csv_path},
+        {"--binary-out", &binary_out_path},
+    };
+    for (size_t a = 0; a < std::size(outputs); ++a) {
+      for (size_t b = a + 1; b < std::size(outputs); ++b) {
+        if (!outputs[a].second->empty() && *outputs[a].second == *outputs[b].second) {
+          std::fprintf(stderr, "%s and %s both point at '%s'; each output needs its own file\n",
+                       outputs[a].first, outputs[b].first, outputs[a].second->c_str());
+          return 1;
+        }
+      }
+    }
+  }
   options.stream =
       !no_stream && (stream || options.replications >= kAutoStreamReplications);
 
@@ -303,7 +388,8 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "--json/--reps-csv are not supported in sweep mode; use --csv\n");
       return 1;
     }
-    return RunSweep(options, sweep_specs, shard_index, shard_count, csv_path, quiet);
+    return RunSweep(options, sweep_specs, shard_index, shard_count, csv_path, binary_out_path,
+                    quiet);
   }
   if (!shard_spec.empty()) {
     std::fprintf(stderr, "--shard requires at least one --sweep axis\n");
@@ -323,6 +409,20 @@ int Main(int argc, char** argv) {
     }
     streamed_reps_writer = std::make_unique<StreamingCsvWriter>(streamed_reps_out);
     options.consumers.push_back(streamed_reps_writer.get());
+  }
+
+  // The binary record stream rides the same pipeline in both modes: every
+  // record is stored whole whether the aggregates are exact or online.
+  std::ofstream binary_out;
+  std::unique_ptr<BinaryCampaignWriter> binary_writer;
+  if (!binary_out_path.empty()) {
+    binary_out.open(binary_out_path, std::ios::binary);
+    if (!binary_out) {
+      std::fprintf(stderr, "cannot write %s\n", binary_out_path.c_str());
+      return 1;
+    }
+    binary_writer = std::make_unique<BinaryCampaignWriter>(binary_out, options.stream);
+    options.consumers.push_back(binary_writer.get());
   }
 
   CampaignResult result;

@@ -197,26 +197,39 @@ std::string ResultSink::AggregatesToCsv(const std::vector<MetricAggregate>& aggr
   return csv;
 }
 
-std::string ResultSink::SweepLongCsv(const std::vector<std::string>& param_keys,
-                                     const std::vector<SweepRow>& rows,
-                                     bool approx_quantiles) {
+std::string ResultSink::SweepLongCsvHeader(const std::vector<std::string>& param_keys,
+                                           bool approx_quantiles) {
   std::string csv;
   for (const std::string& key : param_keys) {
     csv += CsvField(key) + ",";
   }
   csv += "metric,count,mean,stddev,ci95_half,min,max," +
          std::string(P50Label(approx_quantiles)) + "," + P95Label(approx_quantiles) + "\n";
+  return csv;
+}
+
+std::string ResultSink::SweepLongCsvRows(const std::vector<std::string>& param_values,
+                                         const std::vector<MetricAggregate>& aggregates) {
+  std::string prefix;
+  for (const std::string& value : param_values) {
+    prefix += CsvField(value) + ",";
+  }
+  std::string csv;
+  for (const MetricAggregate& a : aggregates) {
+    csv += prefix + CsvField(a.metric) + "," + std::to_string(a.count) + "," + Num(a.mean) + "," +
+           Num(a.stddev) + "," + Num(a.ci95_half) + "," + Num(a.min) + "," + Num(a.max) + "," +
+           Num(a.p50) + "," + Num(a.p95) + "\n";
+  }
+  return csv;
+}
+
+std::string ResultSink::SweepLongCsv(const std::vector<std::string>& param_keys,
+                                     const std::vector<SweepRow>& rows,
+                                     bool approx_quantiles) {
+  std::string csv = SweepLongCsvHeader(param_keys, approx_quantiles);
   for (const SweepRow& row : rows) {
     assert(row.param_values.size() == param_keys.size());
-    std::string prefix;
-    for (const std::string& value : row.param_values) {
-      prefix += CsvField(value) + ",";
-    }
-    for (const MetricAggregate& a : row.aggregates) {
-      csv += prefix + CsvField(a.metric) + "," + std::to_string(a.count) + "," + Num(a.mean) +
-             "," + Num(a.stddev) + "," + Num(a.ci95_half) + "," + Num(a.min) + "," + Num(a.max) +
-             "," + Num(a.p50) + "," + Num(a.p95) + "\n";
-    }
+    csv += SweepLongCsvRows(row.param_values, row.aggregates);
   }
   return csv;
 }

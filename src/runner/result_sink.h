@@ -109,6 +109,14 @@ class ResultSink {
                                   const std::vector<SweepRow>& rows,
                                   bool approx_quantiles = false);
 
+  // The pieces SweepLongCsv is assembled from, shared with the streaming
+  // sweep writer and the binary-export path so their bytes cannot drift:
+  // the header line, and one grid point's block of per-metric rows.
+  static std::string SweepLongCsvHeader(const std::vector<std::string>& param_keys,
+                                        bool approx_quantiles);
+  static std::string SweepLongCsvRows(const std::vector<std::string>& param_values,
+                                      const std::vector<MetricAggregate>& aggregates);
+
  private:
   mutable std::mutex mu_;
   std::vector<ReplicationResult> replications_;

@@ -251,7 +251,10 @@ void RegisterPipelineProbe(ScenarioRegistry& r) {
       "Synthetic microsecond-scale scenario: deterministic pseudo-random metrics, no simulation",
       {{"n_metrics", "3", "number of value_<k> metrics emitted per replication"},
        {"samples", "64", "uniform draws averaged into each metric"},
-       {"gauge", "false", "also stream the draws through a recorder gauge (latency_us_*)"}},
+       {"gauge", "false", "also stream the draws through a recorder gauge (latency_us_*)"},
+       {"counters", "0", "count-style count_<c> metrics: integral, ~1e7 base with a small "
+                         "per-replication jitter (the shape packet/byte counters have)"},
+       {"hist", "false", "also record the draws into a fixed-bin latency_hist histogram"}},
       [](const ScenarioParams& params, const ReplicationContext& ctx) {
         // Exists for the results pipeline itself: a 10^4..10^6-replication
         // campaign of it runs in seconds, so CI can gate streaming-mode
@@ -260,8 +263,13 @@ void RegisterPipelineProbe(ScenarioRegistry& r) {
         const uint64_t n_metrics = params.GetUint("n_metrics", 3);
         const uint64_t samples = params.GetUint("samples", 64);
         const bool gauge = params.GetBool("gauge", false);
+        const uint64_t counters = params.GetUint("counters", 0);
+        const bool hist = params.GetBool("hist", false);
         Rng rng(ctx.seed);
         ReplicationResult out;
+        if (hist && ctx.recorder != nullptr) {
+          ctx.recorder->DeclareHistogram("latency_hist", 0.0, 25.0, 40);
+        }
         for (uint64_t k = 0; k < n_metrics; ++k) {
           double sum = 0.0;
           for (uint64_t s = 0; s < samples; ++s) {
@@ -270,9 +278,19 @@ void RegisterPipelineProbe(ScenarioRegistry& r) {
             if (gauge && ctx.recorder != nullptr) {
               ctx.recorder->AddSample("latency_us", 1e3 * draw);
             }
+            if (hist && ctx.recorder != nullptr) {
+              ctx.recorder->AddHistogramSample("latency_hist", 1e3 * draw);
+            }
           }
           out.metrics["value_" + std::to_string(k)] =
               samples > 0 ? sum / static_cast<double>(samples) : 0.0;
+        }
+        // Counter draws come after the value draws, so enabling them never
+        // perturbs the value_<k> sequences existing gates pin down.
+        for (uint64_t c = 0; c < counters; ++c) {
+          const double jitter = std::floor(rng.NextDouble() * 31.0) - 15.0;
+          out.metrics["count_" + std::to_string(c)] =
+              1.0e7 + 100.0 * static_cast<double>(c) + jitter;
         }
         out.metrics["seed_mod"] = static_cast<double>(ctx.seed % 1000003);
         return out;

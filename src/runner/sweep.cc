@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 
 #include "core/random.h"
@@ -157,6 +159,35 @@ std::pair<size_t, size_t> ShardRange(size_t total, unsigned index, unsigned coun
   return {begin, end};
 }
 
+void StreamingSweepCsvWriter::BeginSweep(const SweepManifest& manifest) {
+  if (begun_) {
+    throw std::logic_error(
+        "StreamingSweepCsvWriter attached to a second sweep: one writer, one stream");
+  }
+  begun_ = true;
+  streamed_ = manifest.streamed;
+  out_ << ResultSink::SweepLongCsvHeader(manifest.param_keys, streamed_);
+}
+
+void StreamingSweepCsvWriter::OnPointDone(const SweepPointInfo& info,
+                                          const std::vector<MetricAggregate>& aggregates,
+                                          ResultConsumer* point_consumer) {
+  (void)point_consumer;
+  std::vector<std::string> values;
+  values.reserve(info.point.size());
+  for (const auto& [key, value] : info.point) {
+    values.push_back(value);
+  }
+  out_ << ResultSink::SweepLongCsvRows(values, aggregates);
+}
+
+void StreamingSweepCsvWriter::EndSweep() {
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("streaming sweep CSV write failed");
+  }
+}
+
 uint64_t SweepPointSeed(uint64_t base_seed,
                         const std::vector<std::pair<std::string, std::string>>& point) {
   // Key the substream by the sorted parameter assignment: the seed is a pure
@@ -241,37 +272,76 @@ SweepResult RunSweepCampaign(const SweepOptions& options) {
     OnlineAggregator online;
   };
 
+  // Announce the sweep to the point sinks before any point is set up, so
+  // MakePointConsumer always runs on a sink that has seen its manifest.
+  SweepManifest sweep_manifest;
+  sweep_manifest.scenario = options.scenario;
+  sweep_manifest.base_seed = options.base_seed;
+  sweep_manifest.replications = reps;
+  sweep_manifest.streamed = options.stream;
+  sweep_manifest.param_keys = result.param_keys;
+  sweep_manifest.shard_points = n_points;
+  sweep_manifest.total_points = total;
+  for (SweepPointSink* sink : options.point_sinks) {
+    sink->BeginSweep(sweep_manifest);
+  }
+
+  std::vector<SweepPointInfo> point_infos(n_points);
   std::vector<ScenarioParams> point_params(n_points);
-  std::vector<uint64_t> point_seeds(n_points);
   std::vector<std::unique_ptr<PointCollector>> collectors(n_points);
+  // Per point, one optional consumer per sink (parallel to point_sinks).
+  std::vector<std::vector<std::unique_ptr<ResultConsumer>>> point_consumers(n_points);
   std::vector<std::atomic<uint64_t>> completed(n_points);
-  result.points.resize(n_points);
   for (size_t p = 0; p < n_points; ++p) {
-    SweepPointResult& point_result = result.points[p];
-    point_result.point_index = begin + p;
-    point_result.point = options.grid.Point(begin + p);
+    SweepPointInfo& info = point_infos[p];
+    info.point_index = begin + p;
+    info.point = options.grid.Point(begin + p);
     point_params[p] = options.base_params;
-    for (const auto& [key, value] : point_result.point) {
+    for (const auto& [key, value] : info.point) {
       point_params[p].Set(key, value);
     }
-    point_seeds[p] = SweepPointSeed(options.base_seed, point_result.point);
+    info.point_seed = SweepPointSeed(options.base_seed, info.point);
     CampaignManifest manifest;
     manifest.scenario = options.scenario;
-    manifest.base_seed = point_seeds[p];
+    manifest.base_seed = info.point_seed;
     manifest.replications = reps;
     collectors[p] = std::make_unique<PointCollector>(std::move(manifest));
     collectors[p]->pipeline.AddConsumer(options.stream
                                             ? static_cast<ResultConsumer*>(&collectors[p]->online)
                                             : &collectors[p]->memory);
+    point_consumers[p].reserve(options.point_sinks.size());
+    for (SweepPointSink* sink : options.point_sinks) {
+      std::unique_ptr<ResultConsumer> consumer = sink->MakePointConsumer(info);
+      if (consumer != nullptr) {
+        collectors[p]->pipeline.AddConsumer(consumer.get());
+      }
+      point_consumers[p].push_back(std::move(consumer));
+    }
     collectors[p]->pipeline.Begin();
   }
+  if (options.retain_points) {
+    result.points.resize(n_points);
+    for (size_t p = 0; p < n_points; ++p) {
+      result.points[p].point_index = point_infos[p].point_index;
+      result.points[p].point = point_infos[p].point;
+    }
+  }
+
+  // Points complete in worker order, but sinks see them in grid order:
+  // a completed point parks its aggregates here until every earlier point
+  // is done, then the in-order prefix flushes under the lock — the same
+  // reorder-buffer shape ResultPipeline uses per replication. Depth is
+  // bounded by the pool's completion skew, never by the grid size.
+  std::mutex sink_mu;
+  size_t next_point = 0;
+  std::map<size_t, std::vector<MetricAggregate>> pending_done;
 
   RunTaskPool(options.jobs, static_cast<uint64_t>(n_points) * reps, [&](uint64_t task) {
     const size_t p = static_cast<size_t>(task / reps);
     const uint64_t rep = task % reps;
     ReplicationContext ctx;
     ctx.replication = rep;
-    ctx.seed = SubstreamSeed(point_seeds[p], scenario.name(), rep);
+    ctx.seed = SubstreamSeed(point_infos[p].point_seed, scenario.name(), rep);
     MetricRecorder recorder;
     ctx.recorder = &recorder;
     const ReplicationResult returned = scenario.Run(point_params[p], ctx);
@@ -279,13 +349,32 @@ SweepResult RunSweepCampaign(const SweepOptions& options) {
     collector.pipeline.Deliver(recorder.Finish(rep, returned));
     if (completed[p].fetch_add(1, std::memory_order_acq_rel) + 1 == reps) {
       collector.pipeline.End();
-      result.points[p].aggregates = options.stream
-                                        ? collector.online.Aggregates()
-                                        : ResultSink::AggregateReplications(
-                                              collector.memory.ToReplicationResults());
+      std::vector<MetricAggregate> aggregates =
+          options.stream ? collector.online.Aggregates()
+                         : ResultSink::AggregateReplications(
+                               collector.memory.ToReplicationResults());
       collectors[p].reset();
+      if (options.retain_points) {
+        result.points[p].aggregates = aggregates;
+      }
+      std::lock_guard<std::mutex> lock(sink_mu);
+      pending_done.emplace(p, std::move(aggregates));
+      while (!pending_done.empty() && pending_done.begin()->first == next_point) {
+        const size_t q = pending_done.begin()->first;
+        for (size_t s = 0; s < options.point_sinks.size(); ++s) {
+          options.point_sinks[s]->OnPointDone(point_infos[q], pending_done.begin()->second,
+                                              point_consumers[q][s].get());
+        }
+        point_consumers[q].clear();
+        pending_done.erase(pending_done.begin());
+        ++next_point;
+      }
     }
   });
+
+  for (SweepPointSink* sink : options.point_sinks) {
+    sink->EndSweep();
+  }
   return result;
 }
 

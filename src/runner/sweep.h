@@ -12,10 +12,13 @@
 #define WLANSIM_RUNNER_SWEEP_H_
 
 #include <cstdint>
+#include <memory>
+#include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "runner/result_consumer.h"
 #include "runner/result_sink.h"
 #include "runner/scenario.h"
 
@@ -69,6 +72,80 @@ class SweepGrid {
 // count == 0 or index >= count.
 std::pair<size_t, size_t> ShardRange(size_t total, unsigned index, unsigned count);
 
+// What a point sink knows about the sweep before the first point.
+struct SweepManifest {
+  std::string scenario;
+  uint64_t base_seed = 1;
+  uint64_t replications = 0;  // per grid point
+  bool streamed = false;      // per-point aggregation is online (P-square)
+  std::vector<std::string> param_keys;  // axis keys, axis order
+  size_t shard_points = 0;  // grid points this shard runs
+  size_t total_points = 0;  // whole grid
+};
+
+// Identity of one grid point, as handed to point sinks.
+struct SweepPointInfo {
+  size_t point_index = 0;  // global grid index, not shard-local
+  uint64_t point_seed = 0;
+  std::vector<std::pair<std::string, std::string>> point;  // (key, value), axis order
+};
+
+// A sweep-wide consumer of per-point completions. Points finish in
+// completion order on the worker pool, but the engine re-orders them
+// (reorder buffer keyed by grid index, the same trick ResultPipeline plays
+// per replication) so OnPointDone always fires in ascending grid order,
+// serialized — sinks need no synchronization and can stream ordered output
+// while later points are still running.
+class SweepPointSink {
+ public:
+  virtual ~SweepPointSink() = default;
+
+  // Called once, before any point runs.
+  virtual void BeginSweep(const SweepManifest& manifest) { (void)manifest; }
+
+  // A sink may request a per-point ResultConsumer, attached to that point's
+  // result pipeline (records arrive in replication order, serialized). The
+  // engine owns the consumer and hands it back in OnPointDone so the sink
+  // can harvest whatever it accumulated. Return nullptr (the default) when
+  // the per-point aggregates suffice. Called serially during sweep setup,
+  // in grid order, before any replication runs.
+  virtual std::unique_ptr<ResultConsumer> MakePointConsumer(const SweepPointInfo& info) {
+    (void)info;
+    return nullptr;
+  }
+
+  // Called once per grid point, in grid order. `point_consumer` is the
+  // consumer MakePointConsumer returned for this point (nullptr otherwise)
+  // and dies when OnPointDone returns.
+  virtual void OnPointDone(const SweepPointInfo& info,
+                           const std::vector<MetricAggregate>& aggregates,
+                           ResultConsumer* point_consumer) = 0;
+
+  // Called once, after the last point.
+  virtual void EndSweep() {}
+};
+
+// Streams the long-format sweep CSV (header + one row per point and metric)
+// to `out` as points complete, byte-identical to SweepResultToCsv over the
+// same sweep — the header is a pure function of the manifest and each
+// point's rows are a pure function of its aggregates, so nothing needs to
+// wait for the sweep to end.
+class StreamingSweepCsvWriter final : public SweepPointSink {
+ public:
+  explicit StreamingSweepCsvWriter(std::ostream& out) : out_(out) {}
+
+  void BeginSweep(const SweepManifest& manifest) override;
+  void OnPointDone(const SweepPointInfo& info,
+                   const std::vector<MetricAggregate>& aggregates,
+                   ResultConsumer* point_consumer) override;
+  void EndSweep() override;
+
+ private:
+  std::ostream& out_;
+  bool streamed_ = false;
+  bool begun_ = false;
+};
+
 struct SweepOptions {
   std::string scenario;
   // Applied to every grid point. A key may not be both a base param and a
@@ -90,6 +167,13 @@ struct SweepOptions {
   // default: exact aggregation keeps sweep CSVs byte-identical to the batch
   // collector.
   bool stream = false;
+  // Per-point completion sinks (not owned, must outlive RunSweepCampaign).
+  // Each receives every point in grid order; see SweepPointSink.
+  std::vector<SweepPointSink*> point_sinks;
+  // When false, SweepResult::points stays empty — the sinks are the only
+  // output, and peak memory no longer grows with the shard's point count.
+  // (Aggregates are still computed per point and handed to the sinks.)
+  bool retain_points = true;
 };
 
 // Aggregates for one grid point.

@@ -1,0 +1,154 @@
+// wlansim_results — the shard-merge/query CLI for WLSR binary result files
+// (the --binary-out output of wlansim_run; format spec in docs/results.md).
+//
+//   wlansim_results inspect FILE             schema + per-group summary
+//   wlansim_results merge OUT IN...          join sweep shard files into one,
+//                                            byte-identical to the unsharded
+//                                            file when the shards cover the grid
+//   wlansim_results export FILE [--out=CSV]  back to the exact long-format CSV
+//                                            the run itself would have written
+//   wlansim_results aggregate FILE... [--out=CSV]
+//                                            Welford mean/stddev/CI + exact
+//                                            quantiles, column at a time —
+//                                            rows are never materialized
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "results/binary_reader.h"
+
+namespace wlansim {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: wlansim_results COMMAND ...\n"
+               "\n"
+               "commands:\n"
+               "  inspect FILE            print the file's schema header and groups\n"
+               "  merge OUT IN [IN...]    merge sweep shard files into OUT, groups\n"
+               "                          ordered by grid point index; byte-identical\n"
+               "                          to the unsharded file when the shards cover\n"
+               "                          the whole grid\n"
+               "  export FILE [--out=F]   re-emit the run's CSV byte-for-byte: the\n"
+               "                          per-replication CSV for a campaign file, the\n"
+               "                          long-format CSV for a sweep file (stdout\n"
+               "                          unless --out)\n"
+               "  aggregate FILE [FILE...] [--out=F]\n"
+               "                          exact aggregates (Welford mean/stddev/CI +\n"
+               "                          exact quantiles) over all inputs, decoding\n"
+               "                          one column at a time\n");
+  return 1;
+}
+
+// Splits trailing --out=PATH off an argument list; returns false on any
+// other flag-looking argument.
+bool SplitOutFlag(std::vector<std::string>& args, std::string* out_path) {
+  std::vector<std::string> kept;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--out=", 0) == 0) {
+      *out_path = arg.substr(6);
+      if (out_path->empty()) {
+        std::fprintf(stderr, "--out needs a path\n");
+        return false;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return false;
+    } else {
+      kept.push_back(arg);
+    }
+  }
+  args = std::move(kept);
+  return true;
+}
+
+int WriteOutput(const std::string& content, const std::string& out_path) {
+  if (out_path.empty()) {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << content;
+  return out ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "inspect") {
+      if (args.size() != 1) {
+        std::fprintf(stderr, "inspect takes exactly one file\n");
+        return 1;
+      }
+      std::fputs(InspectBinary(ReadBinaryResultsFile(args[0])).c_str(), stdout);
+      return 0;
+    }
+    if (command == "merge") {
+      if (args.size() < 2) {
+        std::fprintf(stderr, "merge takes an output file and at least one input\n");
+        return 1;
+      }
+      const std::string out_path = args[0];
+      std::ofstream out(out_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+      }
+      MergeBinaryFiles({args.begin() + 1, args.end()}, out);
+      return 0;
+    }
+    if (command == "export") {
+      std::string out_path;
+      if (!SplitOutFlag(args, &out_path)) {
+        return 1;
+      }
+      if (args.size() != 1) {
+        std::fprintf(stderr, "export takes exactly one file (plus optional --out=F)\n");
+        return 1;
+      }
+      return WriteOutput(ExportBinaryCsv(ReadBinaryResultsFile(args[0])), out_path);
+    }
+    if (command == "aggregate") {
+      std::string out_path;
+      if (!SplitOutFlag(args, &out_path)) {
+        return 1;
+      }
+      if (args.empty()) {
+        std::fprintf(stderr, "aggregate takes at least one file\n");
+        return 1;
+      }
+      std::vector<BinaryResultsFile> files;
+      files.reserve(args.size());
+      for (const std::string& path : args) {
+        files.push_back(ReadBinaryResultsFile(path));
+      }
+      return WriteOutput(AggregateBinary(files), out_path);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace wlansim
+
+int main(int argc, char** argv) {
+  return wlansim::Main(argc, argv);
+}
