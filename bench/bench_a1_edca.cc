@@ -1,4 +1,4 @@
-// A1 (ablation) — EDCA QoS differentiation.
+// A1 (ablation) — EDCA QoS differentiation, on the in-tree perf harness.
 //
 // A VoIP flow (50 pps × 160 B, AC_VO) shares a BSS with k saturating bulk
 // uploaders (AC_BK). Sweep k with QoS off (plain DCF, everyone equal) and
@@ -7,53 +7,59 @@
 // under EDCA the voice delay stays in the low milliseconds across the
 // sweep while bulk throughput drops only by the (tiny) airtime the voice
 // flow actually uses.
+//
+// The harness times each whole-simulation point (items = voice packets
+// delivered); the figure table is printed from the scenario results.
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <string>
 
 #include "bench/bench_util.h"
 
 namespace wlansim {
 namespace {
 
-Table g_table({"qos", "bulk_stations", "voice_delay_ms", "voice_p99_ms(jitter_ms)",
-               "voice_loss_%", "bulk_mbps"});
-
 const size_t kBulkCounts[] = {1, 3, 6, 10};
 
-void Run(benchmark::State& state, bool qos) {
-  const size_t k = kBulkCounts[state.range(0)];
-  EdcaQosParams p;
-  p.qos = qos;
-  p.bulk_stations = k;
-  p.seed = 500 + k;
-  EdcaQosResult o{};
-  for (auto _ : state) {
-    o = RunEdcaScenario(p);
+int Run(int argc, char** argv) {
+  PerfArgs args = ParsePerfArgs(argc, argv, "bench_a1_edca", /*default_reps=*/1);
+  if (!args.ok) {
+    return 1;
   }
-  state.counters["voice_delay_ms"] = o.voice_delay_ms;
-  state.counters["bulk_mbps"] = o.bulk_mbps;
-  g_table.AddRow({qos ? "edca" : "dcf", std::to_string(k), Table::Num(o.voice_delay_ms, 2),
-                  Table::Num(o.voice_jitter_ms, 2), Table::Num(100 * o.voice_loss, 1),
-                  Table::Num(o.bulk_mbps, 2)});
-}
+  args.warmup = false;  // one rep of a deterministic simulation needs no cache warming
 
-void BM_Dcf(benchmark::State& s) {
-  Run(s, false);
+  PerfHarness harness("A1: EDCA ablation harness (items = voice packets delivered)", args);
+  Table table({"qos", "bulk_stations", "voice_delay_ms", "voice_p99_ms(jitter_ms)",
+               "voice_loss_%", "bulk_mbps"});
+  for (const bool qos : {false, true}) {
+    for (const size_t k : kBulkCounts) {
+      const std::string name = std::string(qos ? "edca" : "dcf") + "/k=" + std::to_string(k);
+      if (!args.filter.empty() && name.find(args.filter) == std::string::npos) {
+        continue;  // keep the figure table aligned with the benches that ran
+      }
+      EdcaQosParams p;
+      p.qos = qos;
+      p.bulk_stations = k;
+      p.seed = 500 + k;
+      EdcaQosResult o{};
+      harness.Bench(name, [&p, &o] {
+        o = RunEdcaScenario(p);
+        return o.voice_delivered;
+      });
+      table.AddRow({qos ? "edca" : "dcf", std::to_string(k), Table::Num(o.voice_delay_ms, 2),
+                    Table::Num(o.voice_jitter_ms, 2), Table::Num(100 * o.voice_loss, 1),
+                    Table::Num(o.bulk_mbps, 2)});
+    }
+  }
+  const int rc = harness.Finish();
+  std::printf("=== A1: EDCA voice protection vs bulk contention (802.11b) ===\n%s\n",
+              table.ToString().c_str());
+  return rc;
 }
-void BM_Edca(benchmark::State& s) {
-  Run(s, true);
-}
-
-BENCHMARK(BM_Dcf)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Edca)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace wlansim
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  wlansim::PrintTable("A1: EDCA voice protection vs bulk contention (802.11b)", wlansim::g_table,
-                      argc, argv);
-  return 0;
+  return wlansim::Run(argc, argv);
 }

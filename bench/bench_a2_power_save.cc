@@ -1,4 +1,5 @@
-// A2 (ablation) — power-save energy/latency trade.
+// A2 (ablation) — power-save energy/latency trade, on the in-tree perf
+// harness.
 //
 // A station receives light downlink CBR (5 packets/s). Sweep: PS off
 // (constantly awake) vs PS on with listen interval ∈ {1, 3, 10} beacons.
@@ -6,23 +7,25 @@
 // PS (idle listening dominates an idle radio's budget), while mean delivery
 // delay grows ≈ listen_interval × beacon_interval / 2 — the classic duty-
 // cycling trade-off curve.
+//
+// The harness times each whole-simulation point (items = packets delivered
+// to the station); the figure table is printed from the scenario results.
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <string>
 
 #include "bench/bench_util.h"
 
 namespace wlansim {
 namespace {
 
-Table g_table({"mode", "listen_interval", "sta_energy_J", "energy_per_pkt_mJ", "mean_delay_ms",
-               "loss_%", "sleep_fraction_%"});
-
 struct Outcome {
-  double energy_j;
-  double energy_per_packet_mj;
-  double delay_ms;
-  double loss;
-  double sleep_fraction;
+  double energy_j = 0.0;
+  double energy_per_packet_mj = 0.0;
+  double delay_ms = 0.0;
+  double loss = 0.0;
+  double sleep_fraction = 0.0;
+  uint64_t delivered = 0;
 };
 
 Outcome RunPs(bool ps, uint8_t listen_interval, uint64_t seed) {
@@ -45,9 +48,9 @@ Outcome RunPs(bool ps, uint8_t listen_interval, uint64_t seed) {
   Outcome out{};
   const auto times = sta->phy().GetStateTimes(net.sim().Now());
   out.energy_j = times.EnergyJoules();
-  const auto delivered = sta->packets_received();
-  out.energy_per_packet_mj = delivered ? 1000.0 * out.energy_j / static_cast<double>(delivered)
-                                       : 0.0;
+  out.delivered = sta->packets_received();
+  out.energy_per_packet_mj =
+      out.delivered ? 1000.0 * out.energy_j / static_cast<double>(out.delivered) : 0.0;
   const auto* flow = net.flow_stats().Find(1);
   out.delay_ms = flow != nullptr ? flow->delay_us.mean() / 1000.0 : 0.0;
   out.loss = net.flow_stats().LossRate(1);
@@ -56,45 +59,48 @@ Outcome RunPs(bool ps, uint8_t listen_interval, uint64_t seed) {
   return out;
 }
 
-void Run(benchmark::State& state, bool ps, uint8_t listen_interval) {
-  Outcome o{};
-  for (auto _ : state) {
-    o = RunPs(ps, listen_interval, 321);
+int Run(int argc, char** argv) {
+  PerfArgs args = ParsePerfArgs(argc, argv, "bench_a2_power_save", /*default_reps=*/1);
+  if (!args.ok) {
+    return 1;
   }
-  state.counters["energy_j"] = o.energy_j;
-  state.counters["delay_ms"] = o.delay_ms;
-  g_table.AddRow({ps ? "power-save" : "always-on",
-                  ps ? std::to_string(listen_interval) : "-", Table::Num(o.energy_j, 2),
+  args.warmup = false;  // one rep of a deterministic simulation needs no cache warming
+
+  PerfHarness harness("A2: power-save ablation harness (items = packets delivered)", args);
+  Table table({"mode", "listen_interval", "sta_energy_J", "energy_per_pkt_mJ", "mean_delay_ms",
+               "loss_%", "sleep_fraction_%"});
+  struct Point {
+    bool ps;
+    uint8_t listen_interval;
+    const char* name;
+  };
+  const Point kPoints[] = {{false, 1, "always-on"},
+                           {true, 1, "ps/listen=1"},
+                           {true, 3, "ps/listen=3"},
+                           {true, 10, "ps/listen=10"}};
+  for (const Point& pt : kPoints) {
+    if (!args.filter.empty() && std::string(pt.name).find(args.filter) == std::string::npos) {
+      continue;  // keep the figure table aligned with the benches that ran
+    }
+    Outcome o{};
+    harness.Bench(pt.name, [&pt, &o] {
+      o = RunPs(pt.ps, pt.listen_interval, 321);
+      return o.delivered;
+    });
+    table.AddRow({pt.ps ? "power-save" : "always-on",
+                  pt.ps ? std::to_string(pt.listen_interval) : "-", Table::Num(o.energy_j, 2),
                   Table::Num(o.energy_per_packet_mj, 1), Table::Num(o.delay_ms, 1),
                   Table::Num(100 * o.loss, 1), Table::Num(100 * o.sleep_fraction, 1)});
+  }
+  const int rc = harness.Finish();
+  std::printf("=== A2: power-save energy vs latency (400 B CBR downlink @ 5 pkt/s, 20 s) ===\n%s\n",
+              table.ToString().c_str());
+  return rc;
 }
-
-void BM_AlwaysOn(benchmark::State& s) {
-  Run(s, false, 1);
-}
-void BM_PsListen1(benchmark::State& s) {
-  Run(s, true, 1);
-}
-void BM_PsListen3(benchmark::State& s) {
-  Run(s, true, 3);
-}
-void BM_PsListen10(benchmark::State& s) {
-  Run(s, true, 10);
-}
-
-BENCHMARK(BM_AlwaysOn)->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_PsListen1)->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_PsListen3)->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_PsListen10)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace wlansim
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  wlansim::PrintTable(
-      "A2: power-save energy vs latency (400 B CBR downlink @ 5 pkt/s, 20 s)",
-      wlansim::g_table, argc, argv);
-  return 0;
+  return wlansim::Run(argc, argv);
 }

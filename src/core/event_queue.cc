@@ -2,7 +2,13 @@
 
 #include <algorithm>
 
+#include "core/hotpath_stats.h"
+
 namespace wlansim {
+
+EventQueue::~EventQueue() {
+  HotPathStats::event_heap_fallbacks.fetch_add(heap_fallbacks_, std::memory_order_relaxed);
+}
 
 uint32_t EventQueue::AllocSlot() {
   if (free_head_ != kNoSlot) {

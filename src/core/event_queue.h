@@ -44,15 +44,22 @@ class EventFn {
  public:
   static constexpr size_t kInlineBytes = 48;
 
+  // True when a (decayed) callable of type F is stored inline in the slab
+  // record; false means every schedule of an F pays a heap allocation.
+  // Exposed so EventQueue can count fallbacks and hot-path closures can
+  // static_assert they fit.
+  template <typename F>
+  static constexpr bool kInlinable = sizeof(F) <= kInlineBytes &&
+                                     alignof(F) <= alignof(std::max_align_t) &&
+                                     std::is_nothrow_move_constructible_v<F>;
+
   EventFn() = default;
 
   template <typename F,
             typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn>>>
   EventFn(F&& fn) {  // NOLINT(google-explicit-constructor): callable wrapper
     using Decayed = std::decay_t<F>;
-    if constexpr (sizeof(Decayed) <= kInlineBytes &&
-                  alignof(Decayed) <= alignof(std::max_align_t) &&
-                  std::is_nothrow_move_constructible_v<Decayed>) {
+    if constexpr (kInlinable<Decayed>) {
       ::new (static_cast<void*>(storage_)) Decayed(std::forward<F>(fn));
       ops_ = &kInlineOps<Decayed>;
     } else {
@@ -156,6 +163,7 @@ class EventId {
 class EventQueue {
  public:
   EventQueue() = default;
+  ~EventQueue();
   // EventIds hold a pointer to their queue, so the queue is pinned.
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
@@ -163,6 +171,9 @@ class EventQueue {
   // Schedules `fn` (any nullary callable) to run at absolute time `at`.
   template <typename F>
   EventId Schedule(Time at, F&& fn) {
+    if constexpr (!EventFn::kInlinable<std::decay_t<F>>) {
+      ++heap_fallbacks_;
+    }
     const uint32_t slot = AllocSlot();
     slots_[slot].fn = EventFn(std::forward<F>(fn));
     heap_.push_back(HeapEntry{at, next_seq_++, slot});
@@ -189,6 +200,12 @@ class EventQueue {
 
   // Total events ever scheduled (for engine microbenchmarks).
   uint64_t TotalScheduled() const { return next_seq_; }
+
+  // Scheduled closures that exceeded EventFn's inline buffer and paid a
+  // heap allocation. The hot-path delivery closures are sized to fit, so a
+  // nonzero steady-state count is a regression signal (folded into
+  // HotPathStats::event_heap_fallbacks at destruction).
+  uint64_t HeapFallbacks() const { return heap_fallbacks_; }
 
  private:
   friend class EventId;
@@ -239,6 +256,7 @@ class EventQueue {
   uint32_t free_head_ = kNoSlot;
   size_t tombstones_ = 0;
   uint64_t next_seq_ = 0;
+  uint64_t heap_fallbacks_ = 0;
 };
 
 inline bool EventId::IsPending() const {

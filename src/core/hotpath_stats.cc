@@ -1,0 +1,8 @@
+#include "core/hotpath_stats.h"
+
+namespace wlansim {
+
+std::atomic<uint64_t> HotPathStats::channel_bytes_copied{0};
+std::atomic<uint64_t> HotPathStats::event_heap_fallbacks{0};
+
+}  // namespace wlansim

@@ -1,0 +1,31 @@
+// Process-wide hot-path regression counters.
+//
+// Per-object counters (Channel::SendStats::bytes_copied, EventQueue's
+// heap-fallback count) die with their owners — one per replication, many
+// thousands per campaign. Each owner folds its totals into these atomics on
+// destruction, so `wlansim_run --verbose` can print campaign-wide numbers
+// after the fact and a fan-out copy or SBO-miss regression is visible
+// without a profiler. Diagnostics only: nothing reads them on a hot path,
+// and they never feed result artifacts (bit-exactness invariant #6).
+
+#ifndef WLANSIM_CORE_HOTPATH_STATS_H_
+#define WLANSIM_CORE_HOTPATH_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace wlansim {
+
+struct HotPathStats {
+  // Bytes deep-copied by packet CoW faults inside Channel::Send fan-out
+  // loops (steady state: zero — fan-out shares one immutable buffer).
+  static std::atomic<uint64_t> channel_bytes_copied;
+  // Scheduled closures too large for the event slab's inline buffer, each
+  // costing a heap allocation (steady state: zero — delivery closures are
+  // sized to fit).
+  static std::atomic<uint64_t> event_heap_fallbacks;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_CORE_HOTPATH_STATS_H_

@@ -53,6 +53,11 @@ class Simulator {
 
   uint64_t EventsExecuted() const { return events_executed_; }
 
+  // Scheduled closures that missed the event slab's inline buffer (see
+  // EventQueue::HeapFallbacks) — the SBO-fit regression gauge used by the
+  // fan-out bench and tests.
+  uint64_t EventHeapFallbacks() const { return queue_.HeapFallbacks(); }
+
  private:
   EventQueue queue_;
   Time now_;

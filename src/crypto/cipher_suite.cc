@@ -71,6 +71,9 @@ class WepCipher final : public LinkCipher {
   CipherSuite suite() const override { return CipherSuite::kWep; }
 
   void Protect(const FrameCryptoContext&, std::vector<uint8_t>& body) override {
+    // One up-front reservation for the full re-framed MPDU body, so the
+    // ICV push_backs and the header insert below never reallocate.
+    body.reserve(body.size() + CipherTotalOverheadBytes(CipherSuite::kWep));
     // Header: IV (24-bit counter, the classic weakness) + KeyID byte.
     const uint32_t iv = iv_counter_++ & 0xFFFFFF;
     uint8_t header[4] = {static_cast<uint8_t>(iv >> 16), static_cast<uint8_t>(iv >> 8),
@@ -134,6 +137,9 @@ class TkipCipher final : public LinkCipher {
   CipherSuite suite() const override { return CipherSuite::kTkip; }
 
   void Protect(const FrameCryptoContext& ctx, std::vector<uint8_t>& body) override {
+    // One up-front reservation for the full re-framed MPDU body (MIC, ICV,
+    // TKIP header) so none of the appends/inserts below reallocates.
+    body.reserve(body.size() + CipherTotalOverheadBytes(CipherSuite::kTkip));
     // 1. Append Michael MIC over DA|SA|priority|payload.
     const auto mic = Michael::ComputeForMsdu(std::span<const uint8_t, 8>(mic_key_), ctx.da, ctx.sa,
                                              ctx.priority, body);
@@ -225,6 +231,9 @@ class CcmpCipher final : public LinkCipher {
   CipherSuite suite() const override { return CipherSuite::kCcmp; }
 
   void Protect(const FrameCryptoContext& ctx, std::vector<uint8_t>& body) override {
+    // One up-front reservation for the full re-framed MPDU body (CCMP
+    // header + MIC) so the inserts below never reallocate.
+    body.reserve(body.size() + CipherTotalOverheadBytes(CipherSuite::kCcmp));
     const uint64_t pn = ++pn_;
 
     uint8_t nonce[13];

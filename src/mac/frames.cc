@@ -144,6 +144,10 @@ Packet BuildMpdu(const MacHeader& header, std::span<const uint8_t> body, PacketM
   return packet;
 }
 
+// Stripping header and FCS goes through Packet's offset-only Remove ops,
+// so parsing a received MPDU never detaches the buffer the channel fan-out
+// shares across receivers: the whole decode path down to the body is
+// zero-copy.
 std::optional<MacHeader> ParseMpdu(Packet& packet) {
   auto bytes = packet.bytes();
   if (bytes.size() < 10 + kFcsSize) {

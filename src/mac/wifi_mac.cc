@@ -398,10 +398,16 @@ void WifiMac::SendDataFragment() {
   h.more_fragments = !last_fragment;
   h.retry = tx_->retries > 0;
 
-  // Body: the fragment's slice, optionally encrypted.
+  // Body: the fragment's slice, optionally encrypted. Reserving the cipher
+  // re-framing overhead up front makes the suite's header/trailer growth
+  // realloc-free (Protect's own reserve becomes a no-op).
   auto msdu_bytes = tx_->item.msdu.bytes();
-  std::vector<uint8_t> body(msdu_bytes.begin() + static_cast<ptrdiff_t>(offset),
-                            msdu_bytes.begin() + static_cast<ptrdiff_t>(offset + length));
+  std::vector<uint8_t> body;
+  body.reserve(length + (tx_->item.is_management || config_.cipher == CipherSuite::kOpen
+                             ? 0
+                             : CipherTotalOverheadBytes(config_.cipher)));
+  body.assign(msdu_bytes.begin() + static_cast<ptrdiff_t>(offset),
+              msdu_bytes.begin() + static_cast<ptrdiff_t>(offset + length));
   if (!tx_->item.is_management) {
     if (LinkCipher* cipher = CipherFor(tx_->item.dest); cipher != nullptr) {
       FrameCryptoContext ctx;

@@ -6,11 +6,64 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "core/hotpath_stats.h"
 #include "core/units.h"
 #include "phy/mobility.h"
 #include "phy/propagation.h"
 
 namespace wlansim {
+
+// Shared per-transmission delivery state. The packet is a CoW view of the
+// sender's buffer (the copy at construction bumps a refcount, it moves no
+// bytes); one record serves every receiver of one Send. Intrusively
+// refcounted by the closures that carry it, so it lives exactly until the
+// last delivery runs — or until an undrained event queue destroys the
+// closures at teardown.
+struct Channel::DeliveryRecord {
+  Packet packet;
+  SignalParams signal;
+  uint32_t refs;
+
+  static void Unref(DeliveryRecord* rec) {
+    if (--rec->refs == 0) {
+      delete rec;
+    }
+  }
+};
+
+// The per-receiver delivery closure: a record reference, the receiver, and
+// its faded power — 24 bytes, comfortably inside EventFn::kInlineBytes, so
+// scheduling an arrival never heap-allocates in the event kernel. Move-only
+// RAII: the reference drops when the closure is destroyed, whether or not
+// it ran.
+struct Channel::DeliveryClosure {
+  DeliveryRecord* rec;
+  RadioDevice* rx;
+  double rx_dbm;
+
+  DeliveryClosure(DeliveryRecord* record, RadioDevice* receiver, double dbm)
+      : rec(record), rx(receiver), rx_dbm(dbm) {
+    ++rec->refs;
+  }
+  DeliveryClosure(DeliveryClosure&& other) noexcept
+      : rec(other.rec), rx(other.rx), rx_dbm(other.rx_dbm) {
+    other.rec = nullptr;
+  }
+  DeliveryClosure(const DeliveryClosure&) = delete;
+  DeliveryClosure& operator=(const DeliveryClosure&) = delete;
+  DeliveryClosure& operator=(DeliveryClosure&&) = delete;
+  ~DeliveryClosure() {
+    if (rec != nullptr) {
+      DeliveryRecord::Unref(rec);
+    }
+  }
+
+  void operator()() {
+    // Each receiver gets its own Packet instance viewing the shared buffer
+    // (refcount bump, no byte copy); uid and meta ride along unchanged.
+    rx->Deliver(rec->packet, rec->signal, rx_dbm);
+  }
+};
 
 Channel::Channel(Simulator* sim, std::unique_ptr<PropagationLossModel> loss, Rng rng)
     : sim_(sim), loss_(std::move(loss)), rng_(rng) {
@@ -20,6 +73,11 @@ Channel::Channel(Simulator* sim, std::unique_ptr<PropagationLossModel> loss, Rng
   if (const char* env = std::getenv("WLANSIM_SPATIAL_INDEX")) {
     spatial_enabled_ = env[0] == '1';
   }
+}
+
+Channel::~Channel() {
+  HotPathStats::channel_bytes_copied.fetch_add(send_stats_.bytes_copied,
+                                               std::memory_order_relaxed);
 }
 
 void Channel::Attach(RadioDevice* device) {
@@ -46,6 +104,10 @@ void Channel::OnDeviceMobilityReplaced(RadioDevice* device) {
 
 void Channel::Send(RadioDevice* sender, const Packet& packet, const SignalParams& signal) {
   ++send_stats_.sends;
+  // Account CoW faults across the whole fan-out: any deep copy between
+  // here and the epilogue (there should be none — receivers share one
+  // immutable buffer) lands in bytes_copied.
+  const uint64_t copied_before = Packet::CowCopiedBytes();
 
   TxContext ctx;
   ctx.sender = sender;
@@ -65,6 +127,7 @@ void Channel::Send(RadioDevice* sender, const Packet& packet, const SignalParams
   assert(tx_index != nullptr);
   ctx.tx_index = *tx_index;
 
+  bool offered = false;
   if (spatial_enabled_) {
     if (!grid_built_ || !GridCurrent()) {
       RebuildGrid();
@@ -96,13 +159,22 @@ void Channel::Send(RadioDevice* sender, const Packet& packet, const SignalParams
       for (const uint32_t i : scratch_candidates_) {
         OfferTo(i, ctx);
       }
-      return;
+      offered = true;
     }
   }
 
-  for (size_t i = 0; i < devices_.size(); ++i) {
-    OfferTo(i, ctx);
+  if (!offered) {
+    for (size_t i = 0; i < devices_.size(); ++i) {
+      OfferTo(i, ctx);
+    }
   }
+
+  // Drop Send's reference; the scheduled closures keep the record (and the
+  // shared buffer behind it) alive until the last delivery.
+  if (ctx.record != nullptr) {
+    DeliveryRecord::Unref(ctx.record);
+  }
+  send_stats_.bytes_copied += Packet::CowCopiedBytes() - copied_before;
 }
 
 void Channel::OfferTo(size_t rx_index, TxContext& ctx) {
@@ -164,14 +236,18 @@ void Channel::OfferTo(size_t rx_index, TxContext& ctx) {
     rx_dbm += RatioToDb(fading_->SampleGain(rng_));
   }
 
-  // Copy by value: each receiver owns an independent packet instance. The
-  // SignalParams ride along so the receive op sees the full on-air
-  // description (protocol, airtime, mode) with its per-receiver power.
-  Packet copy = *ctx.packet;
-  const SignalParams sig = *ctx.signal;
-  sim_->Schedule(delay, [rx, copy = std::move(copy), sig, rx_dbm]() mutable {
-    rx->Deliver(std::move(copy), sig, rx_dbm);
-  });
+  // Zero-copy fan-out: the first offer materializes ONE shared record (the
+  // Packet copy inside it shares the sender's buffer — a refcount bump, no
+  // bytes move) and every receiver's arrival is a 24-byte closure over it,
+  // small enough that the event slab's inline buffer (SBO) path is taken.
+  // The receive op sees the full on-air description (protocol, airtime,
+  // mode) with its per-receiver power.
+  if (ctx.record == nullptr) {
+    ctx.record = new DeliveryRecord{*ctx.packet, *ctx.signal, /*refs=*/1};
+  }
+  static_assert(EventFn::kInlinable<DeliveryClosure>,
+                "delivery closure must fit the event slab's inline buffer");
+  sim_->Schedule(delay, DeliveryClosure(ctx.record, rx, rx_dbm));
 }
 
 void Channel::RebuildGrid() {

@@ -44,6 +44,15 @@
 //    exactly the same sequence and small-topology outputs stay
 //    byte-identical to the dense path.
 //
+//  - Zero-copy fan-out: each Send materializes at most one refcounted
+//    DeliveryRecord holding a CoW view of the sender's packet buffer plus
+//    the SignalParams; every receiver arrival is a small closure over the
+//    record (record pointer, receiver, faded power) that fits the event
+//    slab's inline buffer. The old per-receiver cost — a deep buffer copy
+//    plus a heap-allocated oversized closure — is gone entirely;
+//    SendStats::bytes_copied and EventQueue::HeapFallbacks() both staying
+//    at zero is the enforced evidence (bench_m6_fanout --check).
+//
 // Registration is the attach contract described in radio_device.h: Attach
 // is the one entry point for devices (it indexes the device, registers its
 // mobility model with the topology counter, and installs the back-link that
@@ -79,6 +88,8 @@ class Channel {
   // can A/B an unmodified scenario binary against the dense path without
   // perturbing its parameters (and therefore its CSV output).
   Channel(Simulator* sim, std::unique_ptr<PropagationLossModel> loss, Rng rng);
+  // Folds the fan-out copy counter into HotPathStats (see send_stats()).
+  ~Channel();
 
   // Optional per-frame fading (applied on top of the loss model, never
   // cached). Setting it does not disturb the link cache.
@@ -135,6 +146,11 @@ class Channel {
     uint64_t cutoff_suppressed = 0;   // visited but below the cutoff
     uint64_t grid_queries = 0;        // sends answered by the spatial index
     uint64_t grid_rebuilds = 0;
+    // Packet bytes deep-copied (CoW faults) inside Send's fan-out loop.
+    // The zero-copy contract: every receiver gets a view of one shared
+    // immutable buffer, so this stays 0 on the steady-state path — the
+    // m6 bench gates on it (folded into HotPathStats at destruction).
+    uint64_t bytes_copied = 0;
   };
   const SendStats& send_stats() const { return send_stats_; }
 
@@ -148,6 +164,14 @@ class Channel {
 
  private:
   friend class RadioDevice;  // NotifyMobilityReplaced -> OnDeviceMobilityReplaced
+
+  // Shared per-transmission delivery state: ONE intrusively refcounted
+  // record per Send holds the packet view (sharing the sender's buffer)
+  // and the SignalParams; every receiver's delivery closure carries just a
+  // record pointer + receiver + power, small enough for the event slab's
+  // inline buffer. Both defined in channel.cc.
+  struct DeliveryRecord;
+  struct DeliveryClosure;
 
   // One memoized (tx, rx) link. Valid while both endpoints still use the
   // same MobilityModel instances and neither position epoch nor the loss
@@ -179,6 +203,9 @@ class Channel {
     uint32_t tx_index = 0;
     Vector3 tx_pos;
     bool tx_pos_known = false;
+    // Created lazily by the first offer (a transmission nobody hears
+    // allocates nothing); Send drops its reference after the fan-out.
+    DeliveryRecord* record = nullptr;
   };
 
   static uint64_t LinkKey(uint32_t tx_index, uint32_t rx_index) {

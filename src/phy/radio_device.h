@@ -110,6 +110,15 @@ class RadioDevice {
   // Receive op: the channel delivers an arriving signal at its computed
   // received power. Called only on devices whose capabilities allow
   // reception; the receiver decides decodability from `signal.protocol`.
+  //
+  // Delivery contract: `packet` is a copy-on-write view — every receiver
+  // of one transmission (and the transmitter itself) shares one immutable
+  // byte buffer. The view is the receiver's to keep, copy, and mutate
+  // freely: byte mutation detaches the buffer first, header/trailer strip
+  // is offset-only, and `meta()` is per-view, so nothing a receiver does
+  // is observable through any other device's view. Implementations should
+  // pass the packet along by move/value as before; copies are refcount
+  // bumps, not byte copies.
   virtual void Deliver(Packet packet, const SignalParams& signal, double rx_power_dbm) = 0;
 
   // The channel this device is attached to (nullptr before Attach).

@@ -200,6 +200,7 @@ EdcaQosResult RunEdcaScenario(const EdcaQosParams& p) {
   const auto* flow = net.flow_stats().Find(1);
   out.voice_delay_ms = flow != nullptr ? flow->delay_us.mean() / 1000.0 : 0.0;
   out.voice_jitter_ms = flow != nullptr ? flow->jitter_us / 1000.0 : 0.0;
+  out.voice_delivered = flow != nullptr ? flow->rx_packets : 0;
   out.voice_loss = net.flow_stats().LossRate(1);
   for (size_t i = 0; i < bulk.size(); ++i) {
     out.bulk_mbps += net.flow_stats().GoodputMbps(static_cast<uint32_t>(i + 2));

@@ -87,6 +87,7 @@ struct EdcaQosResult {
   double voice_jitter_ms = 0.0;
   double voice_loss = 0.0;
   double bulk_mbps = 0.0;
+  uint64_t voice_delivered = 0;  // voice packets at the sink (bench item count)
 };
 EdcaQosResult RunEdcaScenario(const EdcaQosParams& p);
 

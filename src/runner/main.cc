@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/hotpath_stats.h"
 #include "results/binary_writer.h"
 #include "runner/campaign.h"
 #include "runner/result_consumer.h"
@@ -80,7 +81,11 @@ void PrintUsage() {
       "                      forces exact batch aggregation back on\n"
       "  --list              list registered scenarios\n"
       "  --describe=NAME     show a scenario's parameters and defaults\n"
-      "  --quiet             suppress the stdout table\n",
+      "  --quiet             suppress the stdout table\n"
+      "  --verbose           after the run, print hot-path diagnostic counters\n"
+      "                      (packet bytes deep-copied in channel fan-out,\n"
+      "                      event closures that missed the slab's inline\n"
+      "                      buffer); stdout only, never in any result file\n",
       static_cast<unsigned long long>(kAutoStreamReplications));
 }
 
@@ -107,6 +112,19 @@ int DescribeScenario(const std::string& name) {
   }
   std::fputs(table.ToString().c_str(), stdout);
   return 0;
+}
+
+// The --verbose footer: process-wide hot-path counters, folded into
+// HotPathStats as each replication's Channel and EventQueue are destroyed.
+// Both should read 0 on the steady-state zero-copy fan-out; a nonzero value
+// is a performance regression signal, not an error. Diagnostic stdout only —
+// result artifacts never include it, so --verbose cannot perturb a CSV.
+void PrintHotPathStats() {
+  std::printf("hot-path: bytes_copied=%llu event_heap_fallbacks=%llu\n",
+              static_cast<unsigned long long>(
+                  HotPathStats::channel_bytes_copied.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  HotPathStats::event_heap_fallbacks.load(std::memory_order_relaxed)));
 }
 
 bool WriteFileOrComplain(const std::string& path, const std::string& content) {
@@ -147,7 +165,7 @@ bool ParseShard(const std::string& spec, unsigned* index, unsigned* count) {
 
 int RunSweep(const CampaignOptions& base, const std::vector<std::string>& sweep_specs,
              unsigned shard_index, unsigned shard_count, const std::string& csv_path,
-             const std::string& binary_out_path, bool quiet) {
+             const std::string& binary_out_path, bool quiet, bool verbose) {
   SweepOptions options;
   options.scenario = base.scenario;
   options.base_params = base.params;
@@ -231,6 +249,9 @@ int RunSweep(const CampaignOptions& base, const std::vector<std::string>& sweep_
       !WriteFileOrComplain(csv_path, SweepResultToCsv(result))) {
     return 1;
   }
+  if (verbose) {
+    PrintHotPathStats();
+  }
   return 0;
 }
 
@@ -244,6 +265,7 @@ int Main(int argc, char** argv) {
   std::string binary_out_path;
   std::vector<std::string> param_keys_seen;
   bool quiet = false;
+  bool verbose = false;
   bool stream = false;
   bool no_stream = false;
 
@@ -320,6 +342,8 @@ int Main(int argc, char** argv) {
       binary_out_path = v;
     } else if (std::strcmp(arg, "--quiet") == 0) {
       quiet = true;
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      verbose = true;
     } else if (std::strcmp(arg, "--stream") == 0) {
       stream = true;
     } else if (std::strcmp(arg, "--no-stream") == 0) {
@@ -389,7 +413,7 @@ int Main(int argc, char** argv) {
       return 1;
     }
     return RunSweep(options, sweep_specs, shard_index, shard_count, csv_path, binary_out_path,
-                    quiet);
+                    quiet, verbose);
   }
   if (!shard_spec.empty()) {
     std::fprintf(stderr, "--shard requires at least one --sweep axis\n");
@@ -461,6 +485,9 @@ int Main(int argc, char** argv) {
   if (!reps_csv_path.empty() && !result.streamed &&
       !WriteFileOrComplain(reps_csv_path, ResultSink::ReplicationsToCsv(result.replications))) {
     return 1;
+  }
+  if (verbose) {
+    PrintHotPathStats();
   }
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cmath>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -420,6 +421,122 @@ TEST(Packet, CopyPreservesMetaAndBytes) {
   Packet b = a;
   EXPECT_EQ(b.meta().flow_id, 42u);
   EXPECT_EQ(b.bytes()[1], 6);
+}
+
+TEST(Packet, EmptySpanConstructs) {
+  // Regression: an empty span has a null data(), which must not be fed to
+  // memcpy (UB even at length 0). The UBSan job watches this test.
+  Packet p{std::span<const uint8_t>{}};
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_TRUE(p.empty());
+  const std::vector<uint8_t> header = {1, 2};
+  p.AddHeader(header);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.bytes()[0], 1);
+}
+
+// --- Packet copy-on-write ---------------------------------------------------------
+
+TEST(PacketCow, CopySharesBufferAndUid) {
+  Packet a(std::vector<uint8_t>{1, 2, 3, 4});
+  Packet b = a;
+  EXPECT_TRUE(a.SharesBufferWith(b));
+  EXPECT_EQ(a.buffer_refcount(), 2u);
+  EXPECT_EQ(a.uid(), b.uid());
+  EXPECT_EQ(b.bytes()[3], 4);
+}
+
+TEST(PacketCow, MutableBytesDetachesAndLeavesSiblingIntact) {
+  Packet a(std::vector<uint8_t>{1, 2, 3});
+  Packet b = a;
+  b.mutable_bytes()[0] = 99;
+  EXPECT_FALSE(a.SharesBufferWith(b));
+  EXPECT_EQ(a.buffer_refcount(), 1u);
+  EXPECT_EQ(b.buffer_refcount(), 1u);
+  EXPECT_EQ(a.bytes()[0], 1);  // sibling never sees the mutation
+  EXPECT_EQ(b.bytes()[0], 99);
+  EXPECT_EQ(a.uid(), b.uid());  // detaching does not re-identify the view
+}
+
+TEST(PacketCow, AddHeaderDetachesSharedBuffer) {
+  Packet a(std::vector<uint8_t>{7, 8});
+  Packet b = a;
+  const std::vector<uint8_t> header = {1};
+  b.AddHeader(header);
+  EXPECT_FALSE(a.SharesBufferWith(b));
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.bytes()[0], 7);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.bytes()[0], 1);
+}
+
+TEST(PacketCow, AddTrailerAndSetBytesDetachShared) {
+  Packet a(std::vector<uint8_t>{7, 8});
+  Packet b = a;
+  const std::vector<uint8_t> fcs = {9};
+  b.AddTrailer(fcs);
+  EXPECT_FALSE(a.SharesBufferWith(b));
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.bytes()[2], 9);
+
+  Packet c = a;
+  const std::vector<uint8_t> fresh = {4, 5, 6};
+  c.SetBytes(fresh);
+  EXPECT_FALSE(a.SharesBufferWith(c));
+  EXPECT_EQ(a.bytes()[0], 7);
+  EXPECT_EQ(c.bytes()[0], 4);
+}
+
+TEST(PacketCow, RemoveOpsAreOffsetOnlyAndStayShared) {
+  Packet a(std::vector<uint8_t>{1, 2, 3, 4, 5});
+  Packet b = a;
+  b.RemoveHeader(1);
+  b.RemoveTrailer(1);
+  // The receive-side MPDU strip must not fault the shared fan-out buffer.
+  EXPECT_TRUE(a.SharesBufferWith(b));
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.bytes()[0], 2);
+  EXPECT_EQ(a.size(), 5u);
+}
+
+TEST(PacketCow, MetaIsPerViewWithoutDetaching) {
+  Packet a(std::vector<uint8_t>{1});
+  a.meta().retries = 0;
+  Packet b = a;
+  b.meta().retries = 3;  // the MAC bumps retries on its own view
+  EXPECT_TRUE(a.SharesBufferWith(b));
+  EXPECT_EQ(a.meta().retries, 0u);
+  EXPECT_EQ(b.meta().retries, 3u);
+}
+
+TEST(PacketCow, ClosureDestructionDropsRefcount) {
+  Simulator sim;
+  Packet a(std::vector<uint8_t>{1, 2, 3});
+  sim.Schedule(Time::Micros(1), [p = a] { (void)p; });
+  EXPECT_EQ(a.buffer_refcount(), 2u);
+  sim.Run();  // the delivered closure (and its view) is destroyed after running
+  EXPECT_EQ(a.buffer_refcount(), 1u);
+}
+
+TEST(PacketCow, CowCopiedBytesCountsOnlySharedDetaches) {
+  Packet a(std::vector<uint8_t>{1, 2, 3, 4});
+  const std::vector<uint8_t> big(300, 0xEE);
+  const uint64_t before = Packet::CowCopiedBytes();
+  a.AddHeader(big);  // exclusive growth: a copy, but not a CoW fault
+  EXPECT_EQ(Packet::CowCopiedBytes(), before);
+  Packet b = a;
+  (void)b.mutable_bytes();  // shared detach: counted at the visible size
+  EXPECT_EQ(Packet::CowCopiedBytes(), before + 304);
+}
+
+TEST(EventQueue, HeapFallbacksCountsOnlyOversizedClosures) {
+  EventQueue q;
+  q.Schedule(Time::Micros(1), [] {});  // fits inline
+  EXPECT_EQ(q.HeapFallbacks(), 0u);
+  std::array<uint64_t, 32> big{};
+  static_assert(sizeof(big) > EventFn::kInlineBytes);
+  q.Schedule(Time::Micros(2), [big] { (void)big; });
+  EXPECT_EQ(q.HeapFallbacks(), 1u);
 }
 
 // --- FlatHash64 -------------------------------------------------------------------

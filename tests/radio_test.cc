@@ -197,6 +197,67 @@ TEST(RadioSeam, TransmitOnlyDevicesReceiveNoOffers) {
   EXPECT_EQ(channel->send_stats().offers, 1u);  // b only
 }
 
+// --- Zero-copy fan-out ---------------------------------------------------------
+
+// A sink that keeps every delivered packet view, so the test can inspect
+// buffer sharing after the fan-out.
+class CapturingSink final : public RadioDevice {
+ public:
+  CapturingSink(uint32_t id, Vector3 pos) : id_(id), mobility_(pos) {}
+  RadioCapabilities capabilities() const override { return {}; }
+  uint8_t channel_number() const override { return 1; }
+  MobilityModel* mobility() const override { return &mobility_; }
+  uint32_t node_id() const override { return id_; }
+  void Deliver(Packet packet, const SignalParams& /*signal*/, double /*rx_dbm*/) override {
+    received_.push_back(std::move(packet));
+  }
+  std::vector<Packet>& received() { return received_; }
+
+ private:
+  uint32_t id_;
+  mutable ConstantPositionMobility mobility_;
+  std::vector<Packet> received_;
+};
+
+TEST(RadioSeam, FanOutSharesOneBufferAcrossReceivers) {
+  Simulator sim;
+  auto channel = MakeChannel(&sim);
+  CapturingSink tx(0, {0, 0, 0});
+  CapturingSink r1(1, {1, 0, 0});
+  CapturingSink r2(2, {2, 0, 0});
+  CapturingSink r3(3, {3, 0, 0});
+  for (RadioDevice* d : {static_cast<RadioDevice*>(&tx), static_cast<RadioDevice*>(&r1),
+                         static_cast<RadioDevice*>(&r2), static_cast<RadioDevice*>(&r3)}) {
+    channel->Attach(d);
+  }
+
+  const Packet frame(std::vector<uint8_t>{10, 20, 30, 40});
+  channel->Send(&tx, frame, MakeWifiSignal(ModesFor(PhyStandard::k80211b).back(), frame.size(),
+                                           false));
+  sim.Run();
+
+  // Every receiver holds a view of the sender's buffer — same uid, same
+  // bytes, no deep copy anywhere in the fan-out.
+  ASSERT_EQ(r1.received().size(), 1u);
+  ASSERT_EQ(r2.received().size(), 1u);
+  ASSERT_EQ(r3.received().size(), 1u);
+  for (CapturingSink* rx : {&r1, &r2, &r3}) {
+    EXPECT_TRUE(rx->received()[0].SharesBufferWith(frame));
+    EXPECT_EQ(rx->received()[0].uid(), frame.uid());
+    EXPECT_EQ(rx->received()[0].bytes()[1], 20);
+  }
+  EXPECT_EQ(frame.buffer_refcount(), 4u);  // the original + three views
+  EXPECT_EQ(channel->send_stats().bytes_copied, 0u);
+  EXPECT_EQ(sim.EventHeapFallbacks(), 0u);  // delivery closures fit the slab inline
+
+  // One receiver mutating its view detaches only that view.
+  r2.received()[0].mutable_bytes()[1] = 99;
+  EXPECT_FALSE(r2.received()[0].SharesBufferWith(frame));
+  EXPECT_EQ(r1.received()[0].bytes()[1], 20);
+  EXPECT_EQ(frame.bytes()[1], 20);
+  EXPECT_EQ(frame.buffer_refcount(), 3u);
+}
+
 // --- Scenario-level determinism ------------------------------------------------
 
 // The heterogeneous scenarios are registered and replicable: same seed,
