@@ -1,4 +1,4 @@
-// F6 — Ad-hoc vs infrastructure scaling.
+// F6 — Ad-hoc vs infrastructure scaling, on the in-tree perf harness.
 //
 // The survey claims ad-hoc "performance suffers while the number of devices
 // grows" whereas infrastructure provides "much more scalability and
@@ -6,54 +6,63 @@
 // (IBSS) or relayed through an AP. Expected shape: ad-hoc wins at small n
 // (no relay double-hop), but its per-flow delivery degrades faster with n;
 // the AP serializes traffic at the cost of relaying every frame twice.
+//
+// The harness times each whole-simulation point (items = delivered payload
+// bytes, so items/s gauges simulator speed); the figure table itself is
+// printed from the scenario results afterwards.
 
-#include <benchmark/benchmark.h>
+#include <cstddef>
+#include <string>
 
 #include "bench/bench_util.h"
 
 namespace wlansim {
 namespace {
 
-Table g_table({"mode", "n_nodes", "offered_mbps", "delivered_mbps", "delivery_%",
-               "mean_delay_ms"});
-
 const size_t kPairCounts[] = {1, 2, 4, 8};
 
-void Run(benchmark::State& state, bool adhoc) {
-  const size_t pairs = kPairCounts[state.range(0)];
-  AdhocInfraParams p;
-  p.adhoc = adhoc;
-  p.n_pairs = pairs;
-  p.seed = 55 + pairs;
-  AdhocInfraResult r{};
-  for (auto _ : state) {
-    r = RunAdhocInfraScenario(p);
+int Run(int argc, char** argv) {
+  PerfArgs args = ParsePerfArgs(argc, argv, "bench_f6_adhoc_vs_infra", /*default_reps=*/1);
+  if (!args.ok) {
+    return 1;
   }
-  state.counters["delivered_mbps"] = r.delivered_mbps;
-  state.counters["delay_ms"] = r.delay_ms;
-  g_table.AddRow({adhoc ? "adhoc" : "infrastructure", std::to_string(2 * pairs),
-                  Table::Num(r.offered_mbps, 2), Table::Num(r.delivered_mbps, 2),
-                  Table::Num(100.0 * r.delivered_mbps / r.offered_mbps, 1),
-                  Table::Num(r.delay_ms, 1)});
-}
+  args.warmup = false;  // one rep of a deterministic simulation needs no cache warming
 
-void BM_Adhoc(benchmark::State& s) {
-  Run(s, true);
+  PerfHarness harness("F6: ad-hoc vs infrastructure harness (items = delivered bytes)", args);
+  Table table({"mode", "n_nodes", "offered_mbps", "delivered_mbps", "delivery_%",
+               "mean_delay_ms"});
+  for (const bool adhoc : {true, false}) {
+    for (const size_t pairs : kPairCounts) {
+      const std::string name =
+          std::string(adhoc ? "adhoc" : "infra") + "/pairs=" + std::to_string(pairs);
+      if (!args.filter.empty() && name.find(args.filter) == std::string::npos) {
+        continue;  // keep the figure table aligned with the benches that ran
+      }
+      AdhocInfraResult r{};
+      AdhocInfraParams p;
+      p.adhoc = adhoc;
+      p.n_pairs = pairs;
+      p.seed = 55 + pairs;
+      harness.Bench(name, [&p, &r] {
+        r = RunAdhocInfraScenario(p);
+        const double sim_secs = p.sim_time.seconds();
+        return static_cast<uint64_t>(r.delivered_mbps * 1e6 / 8.0 * sim_secs);
+      });
+      table.AddRow({adhoc ? "adhoc" : "infrastructure", std::to_string(2 * pairs),
+                    Table::Num(r.offered_mbps, 2), Table::Num(r.delivered_mbps, 2),
+                    Table::Num(100.0 * r.delivered_mbps / r.offered_mbps, 1),
+                    Table::Num(r.delay_ms, 1)});
+    }
+  }
+  const int rc = harness.Finish();
+  std::printf("=== F6: ad-hoc vs infrastructure scaling (2 Mb/s CBR per pair, 11 Mb/s PHY) ===\n%s\n",
+              table.ToString().c_str());
+  return rc;
 }
-void BM_Infrastructure(benchmark::State& s) {
-  Run(s, false);
-}
-
-BENCHMARK(BM_Adhoc)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Infrastructure)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace wlansim
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  wlansim::PrintTable("F6: ad-hoc vs infrastructure scaling (2 Mb/s CBR per pair, 11 Mb/s PHY)",
-                      wlansim::g_table, argc, argv);
-  return 0;
+  return wlansim::Run(argc, argv);
 }

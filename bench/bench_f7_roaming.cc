@@ -1,4 +1,4 @@
-// F7 — ESS roaming handoff.
+// F7 — ESS roaming handoff, on the in-tree perf harness.
 //
 // The survey's ESS mobility story: "as a mobile device moves out of the
 // range of one access point, it moves into the range of another … and still
@@ -6,20 +6,30 @@
 // station walking between them with a CBR uplink. Expected shape: throughput
 // holds near the offered rate under each AP, dips to zero during the
 // scan + auth + associate gap, then recovers; exactly one handoff occurs.
+//
+// The harness times the whole walk (items = delivered payload bytes); the
+// time series and the handoff summary are printed afterwards.
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <string>
 
 #include "bench/bench_util.h"
 
 namespace wlansim {
 namespace {
 
-Table g_series({"time_s", "delivered_kbps"});
-Table g_summary({"metric", "value"});
+int Run(int argc, char** argv) {
+  PerfArgs args = ParsePerfArgs(argc, argv, "bench_f7_roaming", /*default_reps=*/1);
+  if (!args.ok) {
+    return 1;
+  }
+  args.warmup = false;  // one rep of a deterministic simulation needs no cache warming
 
-void BM_Roam(benchmark::State& state) {
+  PerfHarness harness("F7: ESS roaming harness (items = delivered bytes)", args);
+  Table series({"time_s", "delivered_kbps"});
+  Table summary({"metric", "value"});
   RoamingResult r{};
-  for (auto _ : state) {
+  harness.Bench("roam/aps=2", [&r] {
     RoamingParams p;
     p.n_aps = 2;
     p.spacing = 160.0;
@@ -29,27 +39,29 @@ void BM_Roam(benchmark::State& state) {
     p.sim_time = Time::Seconds(20);
     p.seed = 77;
     r = RunRoamingScenario(p);
+    double delivered_bytes = 0.0;
     for (const auto& [start_s, bytes] : r.delivered_buckets) {
-      g_series.AddRow(
-          {Table::Num(start_s, 1), Table::Num(bytes * 8.0 / r.bucket_seconds / 1000.0, 0)});
+      delivered_bytes += bytes;
     }
-    g_summary.AddRow({"handoffs", std::to_string(r.handoffs)});
-    g_summary.AddRow({"packet_loss_%", Table::Num(100.0 * r.loss_rate, 2)});
+    return static_cast<uint64_t>(delivered_bytes);
+  });
+  for (const auto& [start_s, bytes] : r.delivered_buckets) {
+    series.AddRow(
+        {Table::Num(start_s, 1), Table::Num(bytes * 8.0 / r.bucket_seconds / 1000.0, 0)});
   }
-  state.counters["handoffs"] = static_cast<double>(r.handoffs);
-  state.counters["loss_pct"] = 100.0 * r.loss_rate;
-}
+  summary.AddRow({"handoffs", std::to_string(r.handoffs)});
+  summary.AddRow({"packet_loss_%", Table::Num(100.0 * r.loss_rate, 2)});
 
-BENCHMARK(BM_Roam)->Iterations(1)->Unit(benchmark::kMillisecond);
+  const int rc = harness.Finish();
+  std::printf("=== F7: ESS roaming — delivered uplink rate over time (STA walks AP1→AP2) ===\n%s\n",
+              series.ToString().c_str());
+  std::printf("=== F7: summary ===\n%s\n", summary.ToString().c_str());
+  return rc;
+}
 
 }  // namespace
 }  // namespace wlansim
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  wlansim::PrintTable("F7: ESS roaming — delivered uplink rate over time (STA walks AP1→AP2)",
-                      wlansim::g_series, argc, argv);
-  wlansim::PrintTable("F7: summary", wlansim::g_summary, argc, argv);
-  return 0;
+  return wlansim::Run(argc, argv);
 }

@@ -1,4 +1,5 @@
-// F8 — Fragmentation threshold sweep under hidden burst interference.
+// F8 — Fragmentation threshold sweep under hidden burst interference, on
+// the in-tree perf harness.
 //
 // On a clean, strong channel fragmentation only adds PLCP/ACK overhead, so
 // goodput falls monotonically as the threshold shrinks. Under a *hidden*
@@ -8,61 +9,71 @@
 // the damage to the overlapped fragment. Expected shape: clean channel —
 // "off" wins; jammed channel — an intermediate threshold beats both
 // extremes (classic overhead-vs-vulnerability trade).
+//
+// The harness times each threshold point (all 3 seeds per batch; items =
+// delivered payload bytes); the figure table is printed afterwards.
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <string>
 
 #include "bench/bench_util.h"
 
 namespace wlansim {
 namespace {
 
-Table g_table({"channel", "frag_threshold_B", "goodput_mbps", "drop_rate_%", "retry_rate_%"});
-
 const uint32_t kThresholds[] = {256, 512, 1024, 2346};
 
-void Run(benchmark::State& state, bool jammed) {
-  const uint32_t threshold = kThresholds[state.range(0)];
-  HiddenTerminalResult r{};
-  for (auto _ : state) {
-    // Average 3 seeds: the jammed scenario has high run-to-run variance.
-    HiddenTerminalResult acc{};
-    constexpr int kSeeds = 3;
-    for (int s_i = 0; s_i < kSeeds; ++s_i) {
-      FragmentationParams p;
-      p.jammed = jammed;
-      p.frag_threshold = threshold;
-      p.seed = 31 + 17 * static_cast<uint64_t>(s_i);
-      const HiddenTerminalResult one = RunFragmentationScenario(p);
-      acc.goodput_mbps += one.goodput_mbps / kSeeds;
-      acc.retry_rate += one.retry_rate / kSeeds;
-      acc.drop_rate += one.drop_rate / kSeeds;
-    }
-    r = acc;
+int Run(int argc, char** argv) {
+  PerfArgs args = ParsePerfArgs(argc, argv, "bench_f8_fragmentation", /*default_reps=*/1);
+  if (!args.ok) {
+    return 1;
   }
-  state.counters["goodput_mbps"] = r.goodput_mbps;
-  g_table.AddRow({jammed ? "hidden-jammer" : "clean",
-                  threshold >= 2346 ? "off" : std::to_string(threshold),
-                  Table::Num(r.goodput_mbps, 3), Table::Num(100.0 * r.drop_rate, 2),
-                  Table::Num(100.0 * r.retry_rate, 1)});
-}
+  args.warmup = false;  // one rep of a deterministic simulation needs no cache warming
 
-void BM_Clean(benchmark::State& s) {
-  Run(s, false);
+  PerfHarness harness("F8: fragmentation harness (items = delivered bytes)", args);
+  Table table({"channel", "frag_threshold_B", "goodput_mbps", "drop_rate_%", "retry_rate_%"});
+  for (const bool jammed : {false, true}) {
+    for (const uint32_t threshold : kThresholds) {
+      const std::string name = std::string(jammed ? "jammed" : "clean") +
+                               "/threshold=" + std::to_string(threshold);
+      if (!args.filter.empty() && name.find(args.filter) == std::string::npos) {
+        continue;  // keep the figure table aligned with the benches that ran
+      }
+      HiddenTerminalResult r{};
+      harness.Bench(name, [jammed, threshold, &r] {
+        // Average 3 seeds: the jammed scenario has high run-to-run variance.
+        HiddenTerminalResult acc{};
+        constexpr int kSeeds = 3;
+        double sim_secs = 0.0;
+        for (int s_i = 0; s_i < kSeeds; ++s_i) {
+          FragmentationParams p;
+          p.jammed = jammed;
+          p.frag_threshold = threshold;
+          p.seed = 31 + 17 * static_cast<uint64_t>(s_i);
+          sim_secs = p.sim_time.seconds();
+          const HiddenTerminalResult one = RunFragmentationScenario(p);
+          acc.goodput_mbps += one.goodput_mbps / kSeeds;
+          acc.retry_rate += one.retry_rate / kSeeds;
+          acc.drop_rate += one.drop_rate / kSeeds;
+        }
+        r = acc;
+        return static_cast<uint64_t>(kSeeds * r.goodput_mbps * 1e6 / 8.0 * sim_secs);
+      });
+      table.AddRow({jammed ? "hidden-jammer" : "clean",
+                    threshold >= 2346 ? "off" : std::to_string(threshold),
+                    Table::Num(r.goodput_mbps, 3), Table::Num(100.0 * r.drop_rate, 2),
+                    Table::Num(100.0 * r.retry_rate, 1)});
+    }
+  }
+  const int rc = harness.Finish();
+  std::printf("=== F8: fragmentation threshold sweep (2000 B MSDUs, 11 Mb/s) ===\n%s\n",
+              table.ToString().c_str());
+  return rc;
 }
-void BM_Jammed(benchmark::State& s) {
-  Run(s, true);
-}
-
-BENCHMARK(BM_Clean)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Jammed)->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace wlansim
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  wlansim::PrintTable("F8: fragmentation threshold sweep (2000 B MSDUs, 11 Mb/s)",
-                      wlansim::g_table, argc, argv);
-  return 0;
+  return wlansim::Run(argc, argv);
 }

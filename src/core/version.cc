@@ -1,0 +1,20 @@
+#include "core/version.h"
+
+#ifndef WLANSIM_GIT_VERSION
+#define WLANSIM_GIT_VERSION "unknown"
+#endif
+#ifndef WLANSIM_BUILD_TYPE
+#define WLANSIM_BUILD_TYPE "unspecified"
+#endif
+
+namespace wlansim {
+
+const char* BuildVersion() { return WLANSIM_GIT_VERSION; }
+
+const char* BuildType() { return WLANSIM_BUILD_TYPE; }
+
+std::string VersionLine(const std::string& tool) {
+  return tool + " " + BuildVersion() + " (" + BuildType() + ")\n";
+}
+
+}  // namespace wlansim

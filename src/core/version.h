@@ -1,0 +1,26 @@
+// Build identity for the CLI --version flags: the git description and
+// build type captured by CMake at configure time. Every wlansim binary
+// prints the same line format so scripted environments can record exactly
+// which build produced an artifact.
+
+#ifndef WLANSIM_CORE_VERSION_H_
+#define WLANSIM_CORE_VERSION_H_
+
+#include <string>
+
+namespace wlansim {
+
+// `git describe --always --dirty` at configure time; "unknown" when the
+// source tree was not a git checkout.
+const char* BuildVersion();
+
+// The CMake build type ("Release", "Debug", ...); "unspecified" for
+// multi-config generators that defer the choice.
+const char* BuildType();
+
+// The line a `--version` invocation prints: "<tool> <version> (<type>)\n".
+std::string VersionLine(const std::string& tool);
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_CORE_VERSION_H_

@@ -1,0 +1,231 @@
+#include "query/catalog.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <stdexcept>
+
+namespace wlansim {
+namespace {
+
+std::string KindName(BinaryFileKind kind) {
+  return kind == BinaryFileKind::kCampaign ? "campaign" : "sweep";
+}
+
+// The schema every member file must share. Campaign files carry it on their
+// single group; sweep shards fix it on every group, and ParseBinaryResults
+// already guarantees the groups *within* one file agree with each other the
+// way the writer framed them, so the first group speaks for the file.
+const BinaryGroupHeader& SchemaGroup(const BinaryResultsFile& file) {
+  if (file.groups.empty()) {
+    throw std::runtime_error("file has no groups");
+  }
+  return file.groups.front().header;
+}
+
+bool SameGeometry(const DistGeometry& a, const DistGeometry& b) {
+  return a.lo == b.lo && a.bin_width == b.bin_width && a.n_bins == b.n_bins;
+}
+
+// Inserts `name` into a sorted unique vector.
+void UnionInsert(std::vector<std::string>& sorted, const std::string& name) {
+  auto it = std::lower_bound(sorted.begin(), sorted.end(), name);
+  if (it == sorted.end() || *it != name) {
+    sorted.insert(it, name);
+  }
+}
+
+// Folds every group of `file` into the collection's union schema.
+void MergeSchema(Collection& collection, const BinaryResultsFile& file) {
+  for (const BinaryGroup& group : file.groups) {
+    for (const std::string& name : group.header.scalar_names) {
+      UnionInsert(collection.scalar_names, name);
+    }
+    for (size_t d = 0; d < group.header.dist_names.size(); ++d) {
+      const std::string& name = group.header.dist_names[d];
+      UnionInsert(collection.dist_names, name);
+      auto [it, inserted] =
+          collection.dist_geometry.emplace(name, group.header.dist_geometries[d]);
+      if (!inserted && !SameGeometry(it->second, group.header.dist_geometries[d])) {
+        collection.dist_geometry_conflicts.insert(name);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<GroupRef> Collection::GroupsInOrder() const {
+  std::vector<GroupRef> refs;
+  if (kind == BinaryFileKind::kSweep) {
+    refs.reserve(points.size());
+    for (const auto& [index, ref] : points) {
+      (void)index;
+      refs.push_back(ref);
+    }
+  } else {
+    refs.reserve(files.size());
+    for (const CatalogFile* file : files) {
+      refs.push_back(GroupRef{file, 0});
+    }
+  }
+  return refs;
+}
+
+const CatalogFile& Catalog::RegisterFile(const std::string& path) {
+  for (const auto& existing : files_) {
+    if (existing->path == path) {
+      throw std::runtime_error("'" + path + "' is already registered");
+    }
+  }
+
+  auto entry = std::make_unique<CatalogFile>();
+  entry->path = path;
+  entry->file = ReadBinaryResultsFile(path);  // parses + CRC-verifies, throws on damage
+  const BinaryResultsFile& file = entry->file;
+  const BinaryGroupHeader& schema = SchemaGroup(file);
+  if (file.header.kind == BinaryFileKind::kCampaign && file.groups.size() != 1) {
+    throw std::runtime_error("'" + path + "' is a campaign file with more than one group");
+  }
+
+  const std::string name = file.header.scenario + ":" + KindName(file.header.kind);
+  auto existing_it = collections_.find(name);
+  if (existing_it != collections_.end()) {
+    const Collection& c = existing_it->second;
+    if (file.header.param_keys != c.param_keys) {
+      throw std::runtime_error("'" + path + "' sweep parameter keys differ from collection '" +
+                               name + "'");
+    }
+    // Campaign drift checks: campaign answers pool the member files into
+    // one sample set, so a file with a different schema would silently
+    // poison the pool. (Sweep points aggregate per group; their schemas
+    // may legitimately differ between grid points.)
+    if (file.header.kind == BinaryFileKind::kCampaign) {
+      if (schema.scalar_names != c.scalar_names) {
+        throw std::runtime_error("'" + path + "' scalar columns differ from collection '" +
+                                 name + "'");
+      }
+      bool dists_match = schema.dist_names == c.dist_names;
+      for (size_t d = 0; dists_match && d < schema.dist_names.size(); ++d) {
+        dists_match = SameGeometry(schema.dist_geometries[d],
+                                   c.dist_geometry.at(schema.dist_names[d]));
+      }
+      if (!dists_match) {
+        throw std::runtime_error("'" + path + "' distribution columns differ from collection '" +
+                                 name + "'");
+      }
+    }
+  }
+  if (file.header.kind == BinaryFileKind::kSweep) {
+    std::set<uint64_t> in_file;
+    for (const BinaryGroup& group : file.groups) {
+      const uint64_t point = group.header.point_index;
+      const bool taken = existing_it != collections_.end() &&
+                         existing_it->second.points.count(point) != 0;
+      if (taken || !in_file.insert(point).second) {
+        throw std::runtime_error("'" + path + "' re-supplies grid point " +
+                                 std::to_string(point) + " of collection '" + name + "'");
+      }
+    }
+  }
+
+  // All checks passed: commit. Members stay sorted by path so every answer
+  // is registration-order independent (Welford folds are order-sensitive).
+  auto [it, created] = collections_.try_emplace(name);
+  Collection& collection = it->second;
+  if (created) {
+    collection.name = name;
+    collection.scenario = file.header.scenario;
+    collection.kind = file.header.kind;
+    collection.param_keys = file.header.param_keys;
+  }
+  MergeSchema(collection, file);
+  const CatalogFile* stored = entry.get();
+  files_.push_back(std::move(entry));
+  collection.files.insert(
+      std::upper_bound(collection.files.begin(), collection.files.end(), stored,
+                       [](const CatalogFile* a, const CatalogFile* b) { return a->path < b->path; }),
+      stored);
+  for (size_t g = 0; g < file.groups.size(); ++g) {
+    if (file.header.kind == BinaryFileKind::kSweep) {
+      collection.points.emplace(file.groups[g].header.point_index, GroupRef{stored, g});
+    }
+    collection.total_rows += file.groups[g].header.n_rows;
+  }
+  return *stored;
+}
+
+size_t Catalog::RegisterDirectory(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& dir_entry : fs::directory_iterator(path, ec)) {
+    if (dir_entry.is_regular_file() && dir_entry.path().extension() == ".wlsr") {
+      paths.push_back(dir_entry.path().string());
+    }
+  }
+  if (ec) {
+    throw std::runtime_error("cannot read directory '" + path + "': " + ec.message());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& file_path : paths) {
+    RegisterFile(file_path);
+  }
+  return paths.size();
+}
+
+std::vector<std::string> Catalog::CollectionNames() const {
+  std::vector<std::string> names;
+  names.reserve(collections_.size());
+  for (const auto& [name, collection] : collections_) {
+    (void)collection;
+    names.push_back(name);
+  }
+  return names;
+}
+
+const Collection* Catalog::Find(const std::string& name) const {
+  auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : &it->second;
+}
+
+std::string Catalog::Describe() const {
+  std::string text = "collection,kind,files,groups,rows,scalar_columns,dist_columns\n";
+  for (const auto& [name, c] : collections_) {
+    const size_t groups =
+        c.kind == BinaryFileKind::kSweep ? c.points.size() : c.files.size();
+    text += name + "," + KindName(c.kind) + "," + std::to_string(c.files.size()) + "," +
+            std::to_string(groups) + "," + std::to_string(c.total_rows) + "," +
+            std::to_string(c.scalar_names.size()) + "," + std::to_string(c.dist_names.size()) +
+            "\n";
+  }
+  return text;
+}
+
+std::string Catalog::DescribeSchema(const std::string& name) const {
+  const Collection* c = Find(name);
+  if (c == nullptr) {
+    throw std::runtime_error("unknown collection '" + name + "'");
+  }
+  std::string text = "collection " + c->name + " kind=" + KindName(c->kind) +
+                     " files=" + std::to_string(c->files.size()) +
+                     " rows=" + std::to_string(c->total_rows) + "\n";
+  for (const std::string& key : c->param_keys) {
+    text += "param " + key + "\n";
+  }
+  for (const std::string& scalar : c->scalar_names) {
+    text += "scalar " + scalar + "\n";
+  }
+  for (const std::string& dist : c->dist_names) {
+    const DistGeometry& geo = c->dist_geometry.at(dist);
+    char line[192];
+    std::snprintf(line, sizeof(line), "dist %s lo=%g bin_width=%g n_bins=%llu%s\n", dist.c_str(),
+                  geo.lo, geo.bin_width, static_cast<unsigned long long>(geo.n_bins),
+                  c->dist_geometry_conflicts.count(dist) != 0 ? " (geometry varies)" : "");
+    text += line;
+  }
+  return text;
+}
+
+}  // namespace wlansim

@@ -1,0 +1,118 @@
+// The query server's catalog: registered WLSR result files grouped into
+// logical campaign *collections*.
+//
+// Registering a file parses and CRC-verifies it in full (a damaged file is
+// rejected at the door, not at query time) and files it under the
+// collection named `<scenario>:campaign` or `<scenario>:sweep`. Shards of
+// one sweep grid land in the same collection; independent campaign runs of
+// one scenario pool into one sample set, exactly as `wlansim_results
+// aggregate` pools its argument files.
+//
+// Schema drift is detected at registration: a campaign file whose scalar
+// column set, distribution column set or bin geometries disagree with its
+// collection throws (campaign answers pool the files into one sample set,
+// so a mismatched shard would silently poison the pool), as does any file
+// whose sweep parameter keys differ, and a sweep shard that re-supplies an
+// already-registered grid point. Sweep *groups* may legitimately differ in
+// schema between grid points (a swept parameter can change the metric
+// set), so sweep collections carry the union schema and queries resolve
+// columns per group.
+//
+// Determinism: collection member files are kept sorted by path and sweep
+// groups are keyed by ascending grid point index, so every query answer is
+// independent of registration order. The catalog is immutable once serving
+// starts (registration happens during server startup); queries only read.
+
+#ifndef WLANSIM_QUERY_CATALOG_H_
+#define WLANSIM_QUERY_CATALOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "results/binary_reader.h"
+
+namespace wlansim {
+
+// One registered file, parsed and verified.
+struct CatalogFile {
+  std::string path;
+  BinaryResultsFile file;
+};
+
+// A borrowed reference to one group of one registered file.
+struct GroupRef {
+  const CatalogFile* file = nullptr;
+  size_t group_index = 0;
+
+  const BinaryGroup& group() const { return file->file.groups[group_index]; }
+};
+
+struct Collection {
+  std::string name;  // "<scenario>:campaign" or "<scenario>:sweep"
+  std::string scenario;
+  BinaryFileKind kind = BinaryFileKind::kCampaign;
+  std::vector<std::string> param_keys;      // sweep axis keys; empty for campaigns
+  // Union of the member groups' schemas, sorted by name. For campaigns the
+  // union IS the shared schema (registration enforces equality); sweep
+  // points may each carry a subset.
+  std::vector<std::string> scalar_names;
+  std::vector<std::string> dist_names;
+  // First-seen bin geometry per distribution name. A name that reappears
+  // with a different geometry lands in dist_geometry_conflicts: such
+  // columns can still be read per group but refuse a cross-group HIST
+  // merge (summing bins of unlike geometries would be silent nonsense).
+  std::map<std::string, DistGeometry> dist_geometry;
+  std::set<std::string> dist_geometry_conflicts;
+  std::vector<const CatalogFile*> files;    // sorted by path
+  // Sweep: every grid point across the member shards, ascending point
+  // index. Campaigns leave this empty (their rows are the files' single
+  // groups, concatenated in file order).
+  std::map<uint64_t, GroupRef> points;
+  uint64_t total_rows = 0;
+
+  // The member groups in canonical row order: ascending point index for
+  // sweeps, file (path) order for campaigns.
+  std::vector<GroupRef> GroupsInOrder() const;
+};
+
+class Catalog {
+ public:
+  // Registers one WLSR file: reads, parses, CRC-verifies, and files it into
+  // its collection. Throws std::runtime_error on an unreadable, truncated
+  // or corrupt file, a duplicate path, or schema drift against the
+  // collection.
+  const CatalogFile& RegisterFile(const std::string& path);
+
+  // Registers every regular file ending in ".wlsr" directly inside `path`
+  // (sorted by name, so the resulting catalog is directory-order
+  // independent). Returns the number registered; throws on an unreadable
+  // directory or any per-file failure.
+  size_t RegisterDirectory(const std::string& path);
+
+  // Collection names, sorted.
+  std::vector<std::string> CollectionNames() const;
+
+  // nullptr when the name is unknown.
+  const Collection* Find(const std::string& name) const;
+
+  size_t file_count() const { return files_.size(); }
+
+  // The LIST response body: one CSV row per collection.
+  std::string Describe() const;
+
+  // The SCHEMA response body for one collection; throws on unknown name.
+  std::string DescribeSchema(const std::string& name) const;
+
+ private:
+  std::vector<std::unique_ptr<CatalogFile>> files_;
+  std::map<std::string, Collection> collections_;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_QUERY_CATALOG_H_

@@ -1,0 +1,167 @@
+#include "query/server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "query/engine.h"
+#include "query/protocol.h"
+
+namespace wlansim {
+
+// Service latencies in microseconds: 50 µs bins over [0, 100 ms); slower
+// queries still count exactly in the per-track summary.
+QueryServer::QueryServer(const Catalog* catalog, QueryServerOptions options)
+    : catalog_(catalog),
+      options_(std::move(options)),
+      cache_(options_.cache_bytes),
+      latency_(0.0, 50.0, 2000) {
+  if (options_.threads < 1) {
+    throw std::runtime_error("query server needs at least one worker thread");
+  }
+}
+
+QueryServer::~QueryServer() { Stop(); }
+
+void QueryServer::Start() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path '" + options_.socket_path +
+                             "' is empty or too long for a Unix socket");
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(), options_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("socket() failed: ") + std::strerror(errno));
+  }
+  ::unlink(options_.socket_path.c_str());  // a stale file from a dead server
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("cannot listen on '" + options_.socket_path + "': " + reason);
+  }
+
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(static_cast<size_t>(options_.threads));
+  for (int w = 0; w < options_.threads; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void QueryServer::Stop() {
+  if (stopping_.exchange(true)) {
+    // Already stopping/stopped; still join if a racing Stop got here first.
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (int fd : pending_fds_) {
+      ::close(fd);
+    }
+    pending_fds_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+void QueryServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) {
+      continue;  // timeout (re-check the stop flag) or EINTR
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      pending_fds_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void QueryServer::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait_for(lock, std::chrono::milliseconds(100), [this] {
+        return stopping_.load() || !pending_fds_.empty();
+      });
+      if (!pending_fds_.empty()) {
+        fd = pending_fds_.front();
+        pending_fds_.pop_front();
+      } else if (stopping_.load()) {
+        return;
+      }
+    }
+    if (fd >= 0) {
+      ServeConnection(fd);
+      ::close(fd);
+    }
+  }
+}
+
+void QueryServer::ServeConnection(int fd) {
+  QueryEngine engine(catalog_, &cache_);
+  std::string query;
+  try {
+    while (!stopping_.load() && ReadFrame(fd, &query)) {
+      const auto start = std::chrono::steady_clock::now();
+      std::string response;
+      std::string verb = query.substr(0, query.find_first_of(" \t\r\n"));
+      try {
+        if (query == "STATS") {
+          response = EncodeResponse(kStatusOk, StatsReport());
+        } else {
+          response = EncodeResponse(kStatusOk, engine.Execute(query));
+        }
+      } catch (const std::exception& error) {
+        response = EncodeResponse(kStatusError, std::string(error.what()) + "\n");
+      }
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      latency_.Record(verb.empty() ? "(empty)" : verb,
+                      std::chrono::duration<double, std::micro>(elapsed).count());
+      queries_served_.fetch_add(1);
+      WriteFrame(fd, response);
+    }
+  } catch (const std::exception&) {
+    // A torn frame or write to a dead peer ends this connection only.
+  }
+}
+
+std::string QueryServer::StatsReport() const {
+  std::string text = "served=" + std::to_string(queries_served_.load()) + "\n";
+  text += cache_.Report();
+  text += latency_.Report();
+  return text;
+}
+
+}  // namespace wlansim

@@ -1,0 +1,89 @@
+// The query server loop: a Unix-domain stream socket, one accept thread,
+// and a fixed worker pool draining accepted connections from a queue. Each
+// worker owns a connection for its whole lifetime (requests on one
+// connection are answered in order); different connections are served
+// concurrently up to the pool size.
+//
+// The worker count shapes only latency and interleaving, never bytes:
+// workers share one immutable catalog and one ExtentCache, and the engine
+// they run is a pure function of (catalog, query). That is what lets the
+// determinism gate in CI diff the served output of a 1-thread and an
+// 8-thread server byte for byte (invariant #8).
+//
+// The server answers the meta-query STATS itself — cache counters, per-verb
+// service latency (LatencyRecorder), queries served — since those are
+// properties of the serving layer, not of the data.
+
+#ifndef WLANSIM_QUERY_SERVER_H_
+#define WLANSIM_QUERY_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query/catalog.h"
+#include "query/extent_cache.h"
+#include "stats/latency_recorder.h"
+
+namespace wlansim {
+
+struct QueryServerOptions {
+  std::string socket_path;
+  int threads = 2;                          // worker pool size (>= 1)
+  size_t cache_bytes = 64u << 20;           // extent cache byte budget
+};
+
+class QueryServer {
+ public:
+  // The catalog is borrowed and must outlive the server; registration must
+  // be finished before Start() (the serving path only reads it).
+  QueryServer(const Catalog* catalog, QueryServerOptions options);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  // Binds the socket (unlinking a stale file first), listens, and spawns
+  // the accept thread plus the worker pool. Throws std::runtime_error when
+  // the socket cannot be created or bound.
+  void Start();
+
+  // Stops accepting, drains the workers, closes every socket, and removes
+  // the socket file. Idempotent; also run by the destructor.
+  void Stop();
+
+  uint64_t queries_served() const { return queries_served_.load(); }
+  ExtentCache& cache() { return cache_; }
+
+  // The STATS response body: queries served, cache counters, latency lines.
+  std::string StatsReport() const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+
+  const Catalog* catalog_;
+  QueryServerOptions options_;
+  ExtentCache cache_;
+  LatencyRecorder latency_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> queries_served_{0};
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_fds_;
+};
+
+}  // namespace wlansim
+
+#endif  // WLANSIM_QUERY_SERVER_H_

@@ -53,30 +53,6 @@ void WalkExtents(const BinaryGroup& group,
   }
 }
 
-// Mirrors ResultSink::AggregateReplications for one fully-reported metric
-// column (every row has every column in a binary group, so the two are the
-// same math over the same sequence — hence the same bytes downstream).
-MetricAggregate AggregateColumn(const std::string& name, const std::vector<double>& values) {
-  Summary summary;
-  for (double v : values) {
-    summary.Add(v);
-  }
-  MetricAggregate agg;
-  agg.metric = name;
-  agg.count = summary.count();
-  agg.mean = summary.mean();
-  agg.stddev = summary.stddev();
-  agg.ci95_half = summary.count() > 1
-                      ? StudentT95(summary.count() - 1) * summary.stddev() /
-                            std::sqrt(static_cast<double>(summary.count()))
-                      : 0.0;
-  agg.min = summary.min();
-  agg.max = summary.max();
-  agg.p50 = ExactQuantile(values, 0.50);
-  agg.p95 = ExactQuantile(values, 0.95);
-  return agg;
-}
-
 // Exact per-point aggregates of one group, column at a time.
 std::vector<MetricAggregate> ExactGroupAggregates(const BinaryGroup& group) {
   std::vector<MetricAggregate> aggregates;
@@ -84,7 +60,7 @@ std::vector<MetricAggregate> ExactGroupAggregates(const BinaryGroup& group) {
   std::vector<double> column;
   for (size_t c = 0; c < group.header.scalar_names.size(); ++c) {
     ReadScalarColumn(group, c, &column);
-    aggregates.push_back(AggregateColumn(group.header.scalar_names[c], column));
+    aggregates.push_back(AggregateScalarSamples(group.header.scalar_names[c], column));
   }
   return aggregates;
 }
@@ -118,6 +94,31 @@ void RequireSameSchema(const BinaryFileHeader& a, const BinaryFileHeader& b,
 }
 
 }  // namespace
+
+// Mirrors ResultSink::AggregateReplications for one fully-reported metric
+// column (every row has every column in a binary group, so the two are the
+// same math over the same sequence — hence the same bytes downstream).
+MetricAggregate AggregateScalarSamples(const std::string& name,
+                                       const std::vector<double>& values) {
+  Summary summary;
+  for (double v : values) {
+    summary.Add(v);
+  }
+  MetricAggregate agg;
+  agg.metric = name;
+  agg.count = summary.count();
+  agg.mean = summary.mean();
+  agg.stddev = summary.stddev();
+  agg.ci95_half = summary.count() > 1
+                      ? StudentT95(summary.count() - 1) * summary.stddev() /
+                            std::sqrt(static_cast<double>(summary.count()))
+                      : 0.0;
+  agg.min = summary.min();
+  agg.max = summary.max();
+  agg.p50 = ExactQuantile(values, 0.50);
+  agg.p95 = ExactQuantile(values, 0.95);
+  return agg;
+}
 
 BinaryResultsFile ParseBinaryResults(const std::string& bytes) {
   ByteReader reader(bytes);
@@ -396,22 +397,31 @@ std::string ExportBinaryCsv(const BinaryResultsFile& file) {
 }
 
 std::string AggregateBinary(const std::vector<BinaryResultsFile>& files) {
+  std::vector<const BinaryResultsFile*> borrowed;
+  borrowed.reserve(files.size());
+  for (const BinaryResultsFile& file : files) {
+    borrowed.push_back(&file);
+  }
+  return AggregateBinary(borrowed);
+}
+
+std::string AggregateBinary(const std::vector<const BinaryResultsFile*>& files) {
   if (files.empty()) {
     throw std::runtime_error("aggregate needs at least one input file");
   }
-  const BinaryFileHeader& reference = files.front().header;
-  for (const BinaryResultsFile& file : files) {
-    if (file.header.kind != reference.kind || file.header.scenario != reference.scenario ||
-        file.header.param_keys != reference.param_keys) {
+  const BinaryFileHeader& reference = files.front()->header;
+  for (const BinaryResultsFile* file : files) {
+    if (file->header.kind != reference.kind || file->header.scenario != reference.scenario ||
+        file->header.param_keys != reference.param_keys) {
       throw std::runtime_error(
           "aggregate inputs must share kind, scenario, and sweep parameter keys");
     }
   }
   if (reference.kind == BinaryFileKind::kCampaign) {
     // One sample set: the files' columns concatenated in argument order.
-    const std::vector<std::string>& names = files.front().groups.front().header.scalar_names;
-    for (const BinaryResultsFile& file : files) {
-      if (file.groups.size() != 1 || file.groups.front().header.scalar_names != names) {
+    const std::vector<std::string>& names = files.front()->groups.front().header.scalar_names;
+    for (const BinaryResultsFile* file : files) {
+      if (file->groups.size() != 1 || file->groups.front().header.scalar_names != names) {
         throw std::runtime_error("aggregate inputs must share their scalar column schema");
       }
     }
@@ -420,18 +430,18 @@ std::string AggregateBinary(const std::vector<BinaryResultsFile>& files) {
     std::vector<double> column, file_column;
     for (size_t c = 0; c < names.size(); ++c) {
       column.clear();
-      for (const BinaryResultsFile& file : files) {
-        ReadScalarColumn(file.groups.front(), c, &file_column);
+      for (const BinaryResultsFile* file : files) {
+        ReadScalarColumn(file->groups.front(), c, &file_column);
         column.insert(column.end(), file_column.begin(), file_column.end());
       }
-      aggregates.push_back(AggregateColumn(names[c], column));
+      aggregates.push_back(AggregateScalarSamples(names[c], column));
     }
     return ResultSink::AggregatesToCsv(aggregates);
   }
   // Sweep: one block of rows per grid point, ascending, shards disjoint.
   std::map<uint64_t, const BinaryGroup*> by_point;
-  for (const BinaryResultsFile& file : files) {
-    for (const BinaryGroup& group : file.groups) {
+  for (const BinaryResultsFile* file : files) {
+    for (const BinaryGroup& group : file->groups) {
       if (!by_point.emplace(group.header.point_index, &group).second) {
         throw std::runtime_error("duplicate grid point " +
                                  std::to_string(group.header.point_index) +

@@ -18,6 +18,7 @@
 
 #include "results/binary_format.h"
 #include "runner/metric_recorder.h"
+#include "runner/result_sink.h"
 
 namespace wlansim {
 
@@ -83,6 +84,20 @@ std::string ExportBinaryCsv(const BinaryResultsFile& file);
 // whatever aggregation the original run used. Files must share scenario,
 // kind, and schema-bearing header fields.
 std::string AggregateBinary(const std::vector<BinaryResultsFile>& files);
+
+// The same operation over borrowed files (none may be null). This is the
+// overload the query server calls: its catalog owns the parsed files, and
+// served answers must be byte-identical to the offline path, so both
+// spellings run literally the same code.
+std::string AggregateBinary(const std::vector<const BinaryResultsFile*>& files);
+
+// The exact per-column aggregation shared by AggregateBinary, the export
+// path and the query engine: Welford mean/stddev/CI over `values` in the
+// given order plus exact sorted-sample quantiles. Mirrors
+// ResultSink::AggregateReplications for a fully-reported metric column, so
+// every downstream CSV byte matches the text writers'.
+MetricAggregate AggregateScalarSamples(const std::string& name,
+                                       const std::vector<double>& values);
 
 }  // namespace wlansim
 

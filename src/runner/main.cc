@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/hotpath_stats.h"
+#include "core/version.h"
 #include "results/binary_writer.h"
 #include "runner/campaign.h"
 #include "runner/result_consumer.h"
@@ -80,6 +81,7 @@ void PrintUsage() {
       "                      Auto-enabled at >= %llu replications; --no-stream\n"
       "                      forces exact batch aggregation back on\n"
       "  --list              list registered scenarios\n"
+      "  --version           print the build version and exit\n"
       "  --describe=NAME     show a scenario's parameters and defaults\n"
       "  --quiet             suppress the stdout table\n"
       "  --verbose           after the run, print hot-path diagnostic counters\n"
@@ -296,6 +298,9 @@ int Main(int argc, char** argv) {
     const char* v = nullptr;
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       PrintUsage();
+      return 0;
+    } else if (std::strcmp(arg, "--version") == 0) {
+      std::fputs(VersionLine("wlansim_run").c_str(), stdout);
       return 0;
     } else if (std::strcmp(arg, "--list") == 0) {
       return ListScenarios();

@@ -1,0 +1,43 @@
+#include "stats/latency_recorder.h"
+
+#include <cstdio>
+
+namespace wlansim {
+
+void LatencyRecorder::Record(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tracks_.find(name);
+  if (it == tracks_.end()) {
+    it = tracks_.emplace(name, Track{Histogram(lo_, bin_width_, bin_count_), Summary{}}).first;
+  }
+  it->second.histogram.Add(value);
+  it->second.summary.Add(value);
+}
+
+std::string LatencyRecorder::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string text;
+  for (const auto& [name, track] : tracks_) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "latency %s: count=%llu mean=%.1f min=%.1f max=%.1f p50=%.1f p90=%.1f "
+                  "p99=%.1f\n",
+                  name.c_str(), static_cast<unsigned long long>(track.summary.count()),
+                  track.summary.mean(), track.summary.min(), track.summary.max(),
+                  track.histogram.Quantile(0.50), track.histogram.Quantile(0.90),
+                  track.histogram.Quantile(0.99));
+    text += line;
+  }
+  return text;
+}
+
+uint64_t LatencyRecorder::TotalCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, track] : tracks_) {
+    total += track.summary.count();
+  }
+  return total;
+}
+
+}  // namespace wlansim

@@ -8,6 +8,8 @@
 #   3. Every scenario registered in src/runner/scenarios.cc must be
 #      mentioned somewhere in docs/ — the catalogue in scenarios.md cannot
 #      silently fall behind the registry.
+#   4. Every CLI binary under tools/*.cc must be mentioned in docs/ or
+#      README.md — a new tool cannot land undocumented.
 #
 # Pure grep/awk over the source: no build needed, so CI runs it in seconds.
 
@@ -58,6 +60,14 @@ fi
 for s in $scenarios; do
   if ! grep -rqw "$s" docs/; then
     complain "registered scenario '$s' is not mentioned anywhere in docs/"
+  fi
+done
+
+# --- 4. every CLI tool is documented -------------------------------------
+for t in tools/*.cc; do
+  name=$(basename "$t" .cc)
+  if ! grep -rqw "$name" docs/ README.md; then
+    complain "tool '$name' (tools/$name.cc) is not mentioned in docs/ or README.md"
   fi
 done
 

@@ -1,0 +1,170 @@
+// wlansim_query — line-mode client for wlansim_queryd. Connects to the
+// server's Unix socket and either runs one query (--once, the CI/batch
+// mode: result on stdout or --out, nonzero exit on a server-side error) or
+// reads queries line by line from stdin, printing each response as it
+// arrives. The query grammar is documented in docs/queries.md.
+//
+//   wlansim_query --socket=/tmp/q.sock --once "AGGREGATE saturation:campaign"
+//   echo "LIST" | wlansim_query --socket=/tmp/q.sock
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/version.h"
+#include "query/protocol.h"
+
+namespace wlansim {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: wlansim_query --socket=PATH [--once QUERY] [--out=FILE]\n"
+               "\n"
+               "options:\n"
+               "  --socket=PATH   the wlansim_queryd Unix socket to connect to (required)\n"
+               "  --once QUERY    send one query and exit: the result goes to stdout (or\n"
+               "                  --out), a server-side error to stderr with exit 1\n"
+               "  --out=FILE      write the --once result to FILE instead of stdout\n"
+               "  --version       print the build version and exit\n"
+               "\n"
+               "Without --once, queries are read line by line from stdin and each\n"
+               "response is printed as it arrives (server errors go to stderr; the\n"
+               "exit status is 1 when any query failed).\n");
+  return 1;
+}
+
+int Connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "socket path '%s' is empty or too long\n", socket_path.c_str());
+    return -1;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "socket() failed: %s\n", std::strerror(errno));
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "cannot connect to '%s': %s\n", socket_path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Sends one query and splits the response. Returns the status byte, or
+// throws on a transport failure.
+uint8_t RoundTrip(int fd, const std::string& query, std::string* body) {
+  WriteFrame(fd, query);
+  std::string payload;
+  if (!ReadFrame(fd, &payload)) {
+    throw std::runtime_error("server closed the connection");
+  }
+  return DecodeResponse(payload, body);
+}
+
+int Main(int argc, char** argv) {
+  std::string socket_path;
+  std::string once_query;
+  bool once = false;
+  std::string out_path;
+
+  auto value_of = [](const char* arg, const char* flag) -> const char* {
+    const size_t n = std::strlen(flag);
+    return std::strncmp(arg, flag, n) == 0 && arg[n] == '=' ? arg + n + 1 : nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      Usage();
+      return 0;
+    } else if (std::strcmp(arg, "--version") == 0) {
+      std::fputs(VersionLine("wlansim_query").c_str(), stdout);
+      return 0;
+    } else if ((v = value_of(arg, "--socket")) != nullptr) {
+      socket_path = v;
+    } else if ((v = value_of(arg, "--once")) != nullptr ||
+               (std::strcmp(arg, "--once") == 0 && i + 1 < argc && (v = argv[++i]) != nullptr)) {
+      once_query = v;
+      once = true;
+    } else if ((v = value_of(arg, "--out")) != nullptr) {
+      out_path = v;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n\n", arg);
+      return Usage();
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "--socket is required\n\n");
+    return Usage();
+  }
+  if (!out_path.empty() && !once) {
+    std::fprintf(stderr, "--out only applies to --once\n");
+    return 1;
+  }
+
+  const int fd = Connect(socket_path);
+  if (fd < 0) {
+    return 1;
+  }
+
+  int exit_code = 0;
+  try {
+    if (once) {
+      std::string body;
+      if (RoundTrip(fd, once_query, &body) != kStatusOk) {
+        std::fprintf(stderr, "error: %s", body.c_str());
+        exit_code = 1;
+      } else if (out_path.empty()) {
+        std::fwrite(body.data(), 1, body.size(), stdout);
+      } else {
+        std::ofstream out(out_path, std::ios::binary);
+        out << body;
+        if (!out) {
+          std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+          exit_code = 1;
+        }
+      }
+    } else {
+      std::string line;
+      while (std::getline(std::cin, line)) {
+        if (line.empty()) {
+          continue;
+        }
+        std::string body;
+        if (RoundTrip(fd, line, &body) != kStatusOk) {
+          std::fprintf(stderr, "error: %s", body.c_str());
+          exit_code = 1;
+        } else {
+          std::fwrite(body.data(), 1, body.size(), stdout);
+          std::fflush(stdout);
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    exit_code = 1;
+  }
+  ::close(fd);
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace wlansim
+
+int main(int argc, char** argv) {
+  return wlansim::Main(argc, argv);
+}

@@ -1,0 +1,155 @@
+// wlansim_queryd — the campaign query server. Registers WLSR binary result
+// files (validating schema and CRCs at the door), groups them into
+// collections, and serves column-level analytics over a local Unix socket
+// to wlansim_query clients. Served answers are byte-identical to the
+// offline `wlansim_results aggregate` output over the same files — see
+// docs/queries.md for the protocol, grammar, and determinism contract.
+//
+//   wlansim_queryd --socket=/tmp/q.sock --register=results/ --threads=4
+//   wlansim_queryd --socket=/tmp/q.sock --register=a.wlsr --register=b.wlsr
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/version.h"
+#include "query/catalog.h"
+#include "query/server.h"
+
+namespace wlansim {
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true); }
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: wlansim_queryd --socket=PATH --register=FILE_OR_DIR [options]\n"
+               "\n"
+               "options:\n"
+               "  --socket=PATH       Unix socket path to listen on (required)\n"
+               "  --register=PATH     WLSR file, or directory of *.wlsr files, to serve\n"
+               "                      (repeatable; files are validated and grouped into\n"
+               "                      collections at startup)\n"
+               "  --threads=N         worker threads serving connections (default 2);\n"
+               "                      answers are byte-identical for any N\n"
+               "  --cache-mb=N        decoded-column cache budget in MiB (default 64)\n"
+               "  --version           print the build version and exit\n");
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  std::string socket_path;
+  std::vector<std::string> register_paths;
+  int threads = 2;
+  size_t cache_mb = 64;
+
+  auto value_of = [](const char* arg, const char* flag) -> const char* {
+    const size_t n = std::strlen(flag);
+    return std::strncmp(arg, flag, n) == 0 && arg[n] == '=' ? arg + n + 1 : nullptr;
+  };
+  auto parse_positive = [](const char* flag, const char* v, size_t* out) {
+    if (*v == '\0' || std::strspn(v, "0123456789") != std::strlen(v)) {
+      std::fprintf(stderr, "%s expects a positive integer, got '%s'\n", flag, v);
+      return false;
+    }
+    *out = std::stoull(v);
+    if (*out == 0) {
+      std::fprintf(stderr, "%s must be at least 1\n", flag);
+      return false;
+    }
+    return true;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      Usage();
+      return 0;
+    } else if (std::strcmp(arg, "--version") == 0) {
+      std::fputs(VersionLine("wlansim_queryd").c_str(), stdout);
+      return 0;
+    } else if ((v = value_of(arg, "--socket")) != nullptr) {
+      socket_path = v;
+    } else if ((v = value_of(arg, "--register")) != nullptr) {
+      register_paths.emplace_back(v);
+    } else if ((v = value_of(arg, "--threads")) != nullptr) {
+      size_t n = 0;
+      if (!parse_positive("--threads", v, &n)) {
+        return 1;
+      }
+      threads = static_cast<int>(n);
+    } else if ((v = value_of(arg, "--cache-mb")) != nullptr) {
+      if (!parse_positive("--cache-mb", v, &cache_mb)) {
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n\n", arg);
+      return Usage();
+    }
+  }
+  if (socket_path.empty() || register_paths.empty()) {
+    std::fprintf(stderr, "--socket and at least one --register are required\n\n");
+    return Usage();
+  }
+
+  Catalog catalog;
+  try {
+    for (const std::string& path : register_paths) {
+      if (std::filesystem::is_directory(path)) {
+        catalog.RegisterDirectory(path);
+      } else {
+        catalog.RegisterFile(path);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (catalog.file_count() == 0) {
+    std::fprintf(stderr, "error: no .wlsr files found under the --register paths\n");
+    return 1;
+  }
+
+  QueryServerOptions options;
+  options.socket_path = socket_path;
+  options.threads = threads;
+  options.cache_bytes = cache_mb << 20;
+  QueryServer server(&catalog, options);
+  try {
+    server.Start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("wlansim_queryd listening on %s: %zu file(s), %zu collection(s), %d worker(s)\n",
+              socket_path.c_str(), catalog.file_count(), catalog.CollectionNames().size(),
+              threads);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  std::printf("%s", server.StatsReport().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace wlansim
+
+int main(int argc, char** argv) {
+  return wlansim::Main(argc, argv);
+}

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/version.h"
 #include "results/binary_reader.h"
 
 namespace wlansim {
@@ -42,8 +43,22 @@ int Usage() {
                "  aggregate FILE [FILE...] [--out=F]\n"
                "                          exact aggregates (Welford mean/stddev/CI +\n"
                "                          exact quantiles) over all inputs, decoding\n"
-               "                          one column at a time\n");
+               "                          one column at a time\n"
+               "\n"
+               "  --version               print the build version and exit\n");
   return 1;
+}
+
+// Positional-only commands (inspect/merge) still reject flag-looking
+// arguments: `inspect --foo` is a usage error, not a filename.
+bool RejectFlags(const std::vector<std::string>& args) {
+  for (const std::string& arg : args) {
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 // Splits trailing --out=PATH off an argument list; returns false on any
@@ -89,7 +104,18 @@ int Main(int argc, char** argv) {
   const std::string command = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
   try {
+    if (command == "--version") {
+      if (!args.empty()) {
+        std::fprintf(stderr, "--version takes no arguments\n");
+        return 1;
+      }
+      std::fputs(VersionLine("wlansim_results").c_str(), stdout);
+      return 0;
+    }
     if (command == "inspect") {
+      if (!RejectFlags(args)) {
+        return 1;
+      }
       if (args.size() != 1) {
         std::fprintf(stderr, "inspect takes exactly one file\n");
         return 1;
@@ -98,6 +124,9 @@ int Main(int argc, char** argv) {
       return 0;
     }
     if (command == "merge") {
+      if (!RejectFlags(args)) {
+        return 1;
+      }
       if (args.size() < 2) {
         std::fprintf(stderr, "merge takes an output file and at least one input\n");
         return 1;
