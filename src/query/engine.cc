@@ -268,8 +268,15 @@ std::string QueryEngine::Execute(const std::string& query) {
     throw std::runtime_error("usage: SELECT <metrics|*> FROM <collection> [WHERE ...] "
                              "[GROUP BY ...]");
   }
+  // The metric list may be split across tokens ("a, b"), but adjacent
+  // tokens must be joined by a comma — otherwise "SELECT a b FROM c" would
+  // silently fuse into the single metric "ab".
   std::string metric_list;
   for (size_t i = 1; i < from; ++i) {
+    if (i > 1 && metric_list.back() != ',' && tokens[i].front() != ',') {
+      throw std::runtime_error("malformed metric list: '" + tokens[i - 1] + " " + tokens[i] +
+                               "' is missing a comma between metrics");
+    }
     metric_list += tokens[i];
   }
   const Collection& c = FindCollection(*catalog_, tokens[from + 1]);

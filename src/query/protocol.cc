@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 namespace wlansim {
@@ -32,10 +33,12 @@ bool ReadExact(int fd, char* buffer, size_t n, bool eof_ok) {
   return true;
 }
 
+// MSG_NOSIGNAL: a peer that hung up must surface as EPIPE (an exception the
+// per-connection loop catches), not as a SIGPIPE that kills the process.
 void WriteExact(int fd, const char* buffer, size_t n) {
   size_t done = 0;
   while (done < n) {
-    const ssize_t put = ::write(fd, buffer + done, n - done);
+    const ssize_t put = ::send(fd, buffer + done, n - done, MSG_NOSIGNAL);
     if (put < 0) {
       if (errno == EINTR) {
         continue;

@@ -14,6 +14,23 @@
 #include "query/protocol.h"
 
 namespace wlansim {
+namespace {
+
+// Latency tracks exist only for the protocol's verbs; anything else a client
+// sends shares one "(invalid)" track so garbage input cannot grow the
+// recorder without bound.
+const char* LatencyTrackFor(const std::string& verb) {
+  static constexpr const char* kVerbs[] = {"LIST",   "SCHEMA", "AGGREGATE",
+                                           "SELECT", "HIST",   "STATS"};
+  for (const char* known : kVerbs) {
+    if (verb == known) {
+      return known;
+    }
+  }
+  return "(invalid)";
+}
+
+}  // namespace
 
 // Service latencies in microseconds: 50 µs bins over [0, 100 ms); slower
 // queries still count exactly in the per-track summary.
@@ -133,7 +150,24 @@ void QueryServer::ServeConnection(int fd) {
   QueryEngine engine(catalog_, &cache_);
   std::string query;
   try {
-    while (!stopping_.load() && ReadFrame(fd, &query)) {
+    while (!stopping_.load()) {
+      // Wait for request bytes in short slices so a worker parked on an
+      // idle connection still notices Stop(); only once bytes are ready
+      // does ReadFrame block (and then only for the frame in flight).
+      pollfd pfd{fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+      if (ready == 0) {
+        continue;  // idle; re-check the stop flag
+      }
+      if (ready < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        break;
+      }
+      if (!ReadFrame(fd, &query)) {
+        break;  // clean end-of-stream between frames
+      }
       const auto start = std::chrono::steady_clock::now();
       std::string response;
       std::string verb = query.substr(0, query.find_first_of(" \t\r\n"));
@@ -147,7 +181,7 @@ void QueryServer::ServeConnection(int fd) {
         response = EncodeResponse(kStatusError, std::string(error.what()) + "\n");
       }
       const auto elapsed = std::chrono::steady_clock::now() - start;
-      latency_.Record(verb.empty() ? "(empty)" : verb,
+      latency_.Record(LatencyTrackFor(verb),
                       std::chrono::duration<double, std::micro>(elapsed).count());
       queries_served_.fetch_add(1);
       WriteFrame(fd, response);

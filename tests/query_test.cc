@@ -392,6 +392,18 @@ TEST(QueryEngine, RejectsBadQueriesWithUsefulErrors) {
   EXPECT_THROW(
       RunQuery(fx.catalog, "SELECT value_0 FROM pipeline_probe:sweep WHERE n_metrics=9"),
       std::runtime_error);
+  // Metrics split across tokens need commas; bare "a b" must be a syntax
+  // error about the missing comma, not a lookup for a fused metric "ab".
+  try {
+    RunQuery(fx.catalog, "SELECT value_0 value_1 FROM pipeline_probe:sweep");
+    FAIL() << "space-separated metric list was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("comma"), std::string::npos) << e.what();
+  }
+  // ...while a comma-joined list split across tokens stays legal.
+  EXPECT_FALSE(
+      RunQuery(fx.catalog, "SELECT value_0, value_1 FROM pipeline_probe:sweep WHERE n_metrics=3")
+          .empty());
 }
 
 // --- extent cache ---------------------------------------------------------------

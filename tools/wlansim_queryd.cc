@@ -15,6 +15,8 @@
 #include <cstring>
 #include <exception>
 #include <filesystem>
+#include <limits>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +27,9 @@
 
 namespace wlansim {
 namespace {
+
+constexpr size_t kMaxThreads = 1024;
+constexpr size_t kMaxCacheMb = std::numeric_limits<size_t>::max() >> 20;
 
 std::atomic<bool> g_stop{false};
 
@@ -56,16 +61,22 @@ int Main(int argc, char** argv) {
     const size_t n = std::strlen(flag);
     return std::strncmp(arg, flag, n) == 0 && arg[n] == '=' ? arg + n + 1 : nullptr;
   };
-  auto parse_positive = [](const char* flag, const char* v, size_t* out) {
+  auto parse_positive = [](const char* flag, const char* v, size_t max, size_t* out) {
     if (*v == '\0' || std::strspn(v, "0123456789") != std::strlen(v)) {
       std::fprintf(stderr, "%s expects a positive integer, got '%s'\n", flag, v);
       return false;
     }
-    *out = std::stoull(v);
-    if (*out == 0) {
-      std::fprintf(stderr, "%s must be at least 1\n", flag);
+    unsigned long long n = 0;
+    try {
+      n = std::stoull(v);
+    } catch (const std::out_of_range&) {
+      n = max + 1;  // rejected below with the same message
+    }
+    if (n == 0 || n > max) {
+      std::fprintf(stderr, "%s must be between 1 and %zu, got '%s'\n", flag, max, v);
       return false;
     }
+    *out = static_cast<size_t>(n);
     return true;
   };
 
@@ -84,12 +95,13 @@ int Main(int argc, char** argv) {
       register_paths.emplace_back(v);
     } else if ((v = value_of(arg, "--threads")) != nullptr) {
       size_t n = 0;
-      if (!parse_positive("--threads", v, &n)) {
+      if (!parse_positive("--threads", v, kMaxThreads, &n)) {
         return 1;
       }
       threads = static_cast<int>(n);
     } else if ((v = value_of(arg, "--cache-mb")) != nullptr) {
-      if (!parse_positive("--cache-mb", v, &cache_mb)) {
+      // Bounded so cache_mb << 20 below cannot overflow size_t.
+      if (!parse_positive("--cache-mb", v, kMaxCacheMb, &cache_mb)) {
         return 1;
       }
     } else {
